@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 2 (scheduling timeline of a real-time kernel)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, experiment_config):
+    result = run_once(benchmark, figure2.run, experiment_config)
+    latencies = result.series["latencies_us"]
+    fcfs = latencies["FCFS (current GPUs, Fig. 2a)"]
+    npq = latencies["Nonpreemptive priority (Fig. 2b)"]
+    ppq = latencies["Preemptive priority, context switch (Fig. 2c)"]
+    # Qualitative shape of Figure 2: preemption < non-preemptive priority < FCFS.
+    assert ppq < npq < fcfs

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 1 (kernel statistics).
+
+Validates that the occupancy/context-save model reproduces the paper's
+derived columns, and times the computation.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, experiment_config):
+    result = run_once(benchmark, table1.run, experiment_config)
+    assert len(result.rows) == 24
+    assert result.series["max_abs_resource_error_pct"] <= 0.02
+    assert result.series["max_abs_save_time_error_us"] <= 0.01

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 2 (simulation parameters)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, experiment_config):
+    result = run_once(benchmark, table2.run, experiment_config)
+    values = dict(result.rows)
+    assert values["GPU cores (SMs)"] == "13"
+    assert values["Memory bandwidth"] == "208 GB/s"

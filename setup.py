@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that editable installs work on environments whose ``pip``/``setuptools`` lack
+PEP 660 support (e.g. offline machines without the ``wheel`` package):
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

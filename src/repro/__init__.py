@@ -1,0 +1,33 @@
+"""repro — a reproduction of "Enabling Preemptive Multiprogramming on GPUs"
+(Tanasic et al., ISCA 2014).
+
+The package provides a trace-driven simulator of a GK110-class GPU system
+extended with the paper's multiprogramming support: two preemption mechanisms
+(context switch and SM draining), a hardware scheduling framework, and
+scheduling policies including the Dynamic Spatial Sharing (DSS) policy.
+
+Typical entry points:
+
+* :class:`repro.GPUSystem` — build and run a simulated system with a chosen
+  scheduling policy and preemption mechanism.
+* :mod:`repro.workloads` — the Parboil benchmark models of the paper's
+  Table 1 and the multiprogrammed-workload generator.
+* :mod:`repro.metrics` — the multiprogram metrics (NTT, ANTT, STP, fairness).
+* :mod:`repro.experiments` — runners that regenerate every table and figure
+  of the paper's evaluation.
+"""
+
+from repro.gpu.config import GPUConfig, PCIeConfig, SchedulerConfig, SystemConfig
+from repro.system import GPUSystem, run_isolated
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUSystem",
+    "run_isolated",
+    "SystemConfig",
+    "GPUConfig",
+    "PCIeConfig",
+    "SchedulerConfig",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: preemption mechanisms, the hardware
+scheduling framework, and scheduling policies.
+
+* :mod:`repro.core.preemption` — the two preemption mechanisms of Sec. 3.2
+  (context switch and SM draining).
+* :mod:`repro.core.framework` — the scheduling framework of Sec. 3.3
+  (command buffers, active queue, KSRT, SMST, PTBQ).
+* :mod:`repro.core.policies` — scheduling policies built on the framework:
+  FCFS (baseline), non-preemptive and preemptive priority queues, and the
+  Dynamic Spatial Sharing policy of Sec. 3.4.
+"""
+
+from repro.core.framework import (
+    ActiveQueue,
+    CommandBufferSet,
+    KernelStatusEntry,
+    KernelStatusRegisterTable,
+    PreemptedThreadBlockQueue,
+    SchedulingFramework,
+    SMStatusEntry,
+    SMStatusTable,
+)
+from repro.core.preemption import (
+    ContextSwitchMechanism,
+    DrainingMechanism,
+    PreemptionMechanism,
+    make_mechanism,
+)
+from repro.core.policies import (
+    DynamicSpatialSharingPolicy,
+    FCFSPolicy,
+    NonPreemptivePriorityPolicy,
+    PreemptivePriorityPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "ActiveQueue",
+    "CommandBufferSet",
+    "KernelStatusEntry",
+    "KernelStatusRegisterTable",
+    "PreemptedThreadBlockQueue",
+    "SchedulingFramework",
+    "SMStatusEntry",
+    "SMStatusTable",
+    "PreemptionMechanism",
+    "ContextSwitchMechanism",
+    "DrainingMechanism",
+    "make_mechanism",
+    "SchedulingPolicy",
+    "FCFSPolicy",
+    "NonPreemptivePriorityPolicy",
+    "PreemptivePriorityPolicy",
+    "DynamicSpatialSharingPolicy",
+    "make_policy",
+]

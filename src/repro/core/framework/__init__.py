@@ -1,0 +1,37 @@
+"""The hardware scheduling framework (paper Sec. 3.3, Fig. 4).
+
+The framework provides the bookkeeping structures that scheduling policies
+and the SM driver share:
+
+* **Command buffers** — one per GPU context, each holding a single kernel
+  command received from the command dispatcher.
+* **Active queue** — identifiers of the active (running or preempted)
+  kernels; its capacity bounds the number of concurrently active kernels.
+* **KSRT** (Kernel Status Register Table) — one entry per active kernel.
+* **SMST** (SM Status Table) — one entry per SM, tracking state and the
+  kernel it is running / reserved for.
+* **PTBQ** (Preempted Thread Block Queues) — one bounded queue per KSRT
+  entry, storing handles of context-switched thread blocks.
+"""
+
+from repro.core.framework.command_buffer import CommandBufferSet
+from repro.core.framework.framework import SchedulingFramework
+from repro.core.framework.tables import (
+    ActiveQueue,
+    KernelStatusEntry,
+    KernelStatusRegisterTable,
+    PreemptedThreadBlockQueue,
+    SMStatusEntry,
+    SMStatusTable,
+)
+
+__all__ = [
+    "CommandBufferSet",
+    "SchedulingFramework",
+    "ActiveQueue",
+    "KernelStatusEntry",
+    "KernelStatusRegisterTable",
+    "PreemptedThreadBlockQueue",
+    "SMStatusEntry",
+    "SMStatusTable",
+]

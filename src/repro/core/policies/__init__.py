@@ -1,0 +1,55 @@
+"""Scheduling policies built on the scheduling framework.
+
+* :class:`~repro.core.policies.fcfs.FCFSPolicy` — the baseline first-come
+  first-serve behaviour of current GPUs (one context at a time, optional
+  back-to-back scheduling of independent kernels from the same context).
+* :class:`~repro.core.policies.priority.NonPreemptivePriorityPolicy` (NPQ) —
+  priority queues without preemption.
+* :class:`~repro.core.policies.priority.PreemptivePriorityPolicy` (PPQ) —
+  priority queues with preemption; exclusive-access or shared-access variants
+  (paper Sec. 4.2/4.3).
+* :class:`~repro.core.policies.dss.DynamicSpatialSharingPolicy` (DSS) — the
+  token-based dynamic spatial partitioning policy of Sec. 3.4.
+
+Policies are *oblivious* to the preemption mechanism in use: they only mark
+SMs reserved through the engine; the mechanism decides how the SM is freed.
+"""
+
+from repro.core.policies.base import ExecutionEngineOps, SchedulingPolicy
+from repro.core.policies.dss import DynamicSpatialSharingPolicy
+from repro.core.policies.fcfs import FCFSPolicy
+from repro.core.policies.priority import NonPreemptivePriorityPolicy, PreemptivePriorityPolicy
+
+
+def make_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Create a scheduling policy by name.
+
+    Recognised names (case-insensitive): ``fcfs``, ``npq``, ``ppq``,
+    ``ppq_shared``, ``dss``.  Keyword arguments are forwarded to the policy
+    constructor.
+    """
+    normalized = name.strip().lower().replace("-", "_").replace(" ", "_")
+    if normalized == "fcfs":
+        return FCFSPolicy(**kwargs)
+    if normalized in ("npq", "nonpreemptive_priority"):
+        return NonPreemptivePriorityPolicy(**kwargs)
+    if normalized in ("ppq", "preemptive_priority", "ppq_exclusive"):
+        kwargs.setdefault("exclusive_access", True)
+        return PreemptivePriorityPolicy(**kwargs)
+    if normalized in ("ppq_shared", "preemptive_priority_shared"):
+        kwargs["exclusive_access"] = False
+        return PreemptivePriorityPolicy(**kwargs)
+    if normalized in ("dss", "dynamic_spatial_sharing"):
+        return DynamicSpatialSharingPolicy(**kwargs)
+    raise ValueError(f"unknown scheduling policy: {name!r}")
+
+
+__all__ = [
+    "SchedulingPolicy",
+    "ExecutionEngineOps",
+    "FCFSPolicy",
+    "NonPreemptivePriorityPolicy",
+    "PreemptivePriorityPolicy",
+    "DynamicSpatialSharingPolicy",
+    "make_policy",
+]

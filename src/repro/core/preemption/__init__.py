@@ -1,0 +1,40 @@
+"""Preemption mechanisms (paper Sec. 3.2).
+
+Two mechanisms are provided, both driven by the SM driver when a scheduling
+policy marks an SM *reserved*:
+
+* :class:`~repro.core.preemption.context_switch.ContextSwitchMechanism` —
+  drain the SM pipelines, save the execution context of every resident
+  thread block to off-chip memory, and re-issue (and restore) those blocks
+  later.  Latency is predictable: resident state bytes divided by the SM's
+  share of memory bandwidth.
+* :class:`~repro.core.preemption.draining.DrainingMechanism` — stop issuing
+  new thread blocks and let the resident ones run to completion.  No state is
+  moved, but the latency depends on the remaining execution time of the
+  resident blocks and is unbounded for persistent kernels.
+
+Scheduling policies are completely oblivious to which mechanism is in use.
+"""
+
+from repro.core.preemption.base import PreemptionHost, PreemptionMechanism
+from repro.core.preemption.context_switch import ContextSwitchMechanism
+from repro.core.preemption.draining import DrainingMechanism
+
+
+def make_mechanism(name: str) -> PreemptionMechanism:
+    """Create a preemption mechanism by name (``"context_switch"`` or ``"draining"``)."""
+    normalized = name.strip().lower().replace("-", "_").replace(" ", "_")
+    if normalized in ("context_switch", "cs", "switch"):
+        return ContextSwitchMechanism()
+    if normalized in ("draining", "drain", "sm_draining"):
+        return DrainingMechanism()
+    raise ValueError(f"unknown preemption mechanism: {name!r}")
+
+
+__all__ = [
+    "PreemptionMechanism",
+    "PreemptionHost",
+    "ContextSwitchMechanism",
+    "DrainingMechanism",
+    "make_mechanism",
+]

@@ -1,0 +1,120 @@
+"""Base interface for preemption mechanisms.
+
+A mechanism is bound to a *host* (the execution engine / SM driver) and is
+invoked in two situations:
+
+* :meth:`PreemptionMechanism.initiate` — the scheduling policy just reserved
+  the SM; the mechanism must free it (immediately, by saving state, or by
+  waiting for draining).
+* :meth:`PreemptionMechanism.on_block_completed` — a thread block resident on
+  a reserved SM completed naturally; the mechanism decides whether the SM is
+  now free.
+
+When the SM is free the mechanism calls
+:meth:`PreemptionHost.preemption_complete`, handing back any thread blocks it
+evicted so the SM driver can store them in the kernel's PTBQ.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Protocol
+
+from repro.core.framework.framework import SchedulingFramework
+from repro.gpu.config import SystemConfig
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.thread_block import ThreadBlock
+from repro.sim.engine import Simulator
+from repro.sim.stats import RunningStats, StatRegistry
+
+
+class PreemptionHost(Protocol):
+    """The view of the execution engine a preemption mechanism needs."""
+
+    @property
+    def simulator(self) -> Simulator:
+        ...  # pragma: no cover - protocol definition
+
+    @property
+    def system_config(self) -> SystemConfig:
+        ...  # pragma: no cover - protocol definition
+
+    @property
+    def framework(self) -> SchedulingFramework:
+        ...  # pragma: no cover - protocol definition
+
+    def preemption_complete(self, sm_id: int, evicted_blocks: List[ThreadBlock]) -> None:
+        ...  # pragma: no cover - protocol definition
+
+
+class PreemptionMechanism(abc.ABC):
+    """Abstract preemption mechanism."""
+
+    #: Short name used in experiment reports ("context_switch" / "draining").
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._host: Optional[PreemptionHost] = None
+        self.stats = StatRegistry()
+        #: Observed latency from reservation to SM free, per preemption.
+        self.latency_stats = RunningStats("preemption_latency_us")
+        self._reserve_times: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def bind(self, host: PreemptionHost) -> None:
+        """Attach the mechanism to its host engine (called once)."""
+        self._host = host
+
+    @property
+    def host(self) -> PreemptionHost:
+        """The bound host; raises if the mechanism has not been bound."""
+        if self._host is None:
+            raise RuntimeError(f"preemption mechanism {self.name} is not bound to an engine")
+        return self._host
+
+    # ------------------------------------------------------------------
+    # Mechanism hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def initiate(self, sm: StreamingMultiprocessor) -> None:
+        """Begin freeing a just-reserved SM."""
+
+    @abc.abstractmethod
+    def on_block_completed(self, sm: StreamingMultiprocessor) -> None:
+        """A resident block of a reserved SM completed naturally.
+
+        The mechanism decides whether the SM is now free; if so it calls
+        :meth:`PreemptionHost.preemption_complete` (via :meth:`_complete`).
+        """
+
+    def restore_latency_us(self, block: ThreadBlock, state_bytes_per_block: int) -> float:
+        """Extra latency charged when re-issuing a previously preempted block.
+
+        Only the context-switch mechanism ever has preempted blocks to
+        restore; the default is zero.
+        """
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping helpers for subclasses
+    # ------------------------------------------------------------------
+    def _record_reservation(self, sm_id: int) -> None:
+        """Remember when the SM was reserved, to measure preemption latency."""
+        self._reserve_times[sm_id] = self.host.simulator.now
+
+    def _record_completion(self, sm_id: int) -> None:
+        """Record the preemption latency of a completed preemption."""
+        start = self._reserve_times.pop(sm_id, None)
+        if start is not None:
+            self.latency_stats.add(self.host.simulator.now - start)
+        self.stats.counter("preemptions_completed").add()
+
+    def _complete(self, sm_id: int, evicted: List[ThreadBlock]) -> None:
+        """Finish the preemption of ``sm_id`` and notify the host."""
+        self._record_completion(sm_id)
+        self.host.preemption_complete(sm_id, evicted)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

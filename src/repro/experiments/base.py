@@ -1,0 +1,108 @@
+"""Shared infrastructure for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gpu.config import SystemConfig
+from repro.utils.tables import format_table
+from repro.workloads.multiprogram import WorkloadRunner
+from repro.workloads.scale import WorkloadScale
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Configuration shared by every experiment.
+
+    The defaults run the *reduced* scale (see
+    :class:`~repro.workloads.scale.WorkloadScale`); tests and pytest
+    benchmarks use :meth:`smoke` so a single experiment completes in seconds.
+    """
+
+    #: Workload scale preset name ("full", "reduced" or "smoke").
+    scale: str = "reduced"
+    #: Multiprogramming degrees to evaluate (paper: 2, 4, 6, 8).
+    process_counts: Tuple[int, ...] = (2, 4, 6, 8)
+    #: Priority workloads per benchmark and process count (Figures 5/6).
+    workloads_per_benchmark: int = 1
+    #: Random workloads per process count (Figures 7/8).
+    workloads_per_count: int = 10
+    #: Seed of the random workload generator.
+    seed: int = 2014
+    #: Optional subset of benchmarks (None = all ten).
+    benchmarks: Optional[Tuple[str, ...]] = None
+
+    def workload_scale(self) -> WorkloadScale:
+        """The resolved workload scale preset."""
+        return WorkloadScale.by_name(self.scale)
+
+    def make_runner(self, config: Optional[SystemConfig] = None) -> WorkloadRunner:
+        """Create a workload runner at this experiment's scale."""
+        return WorkloadRunner(scale=self.workload_scale(), config=config)
+
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """A configuration small enough for unit tests and CI benchmarks."""
+        return cls(
+            scale="smoke",
+            process_counts=(2, 4),
+            workloads_per_benchmark=1,
+            workloads_per_count=3,
+            benchmarks=("lbm", "spmv", "sgemm", "histo", "tpacf", "sad"),
+        )
+
+    @classmethod
+    def reduced(cls) -> "ExperimentConfig":
+        """The default reduced-scale configuration."""
+        return cls()
+
+    @classmethod
+    def full(cls) -> "ExperimentConfig":
+        """The paper-scale configuration (hours of simulation in Python)."""
+        return cls(scale="full", workloads_per_benchmark=2, workloads_per_count=15)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured result of one experiment."""
+
+    name: str
+    description: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    #: Free-form notes (deviations, scale used, ...), printed under the table.
+    notes: List[str] = field(default_factory=list)
+    #: Machine-readable extras (per-series data for plotting or assertions).
+    series: Dict[str, object] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render the result as an aligned plain-text table."""
+        table = format_table(self.headers, self.rows, title=f"{self.name}: {self.description}")
+        if self.notes:
+            notes = "\n".join(f"  - {note}" for note in self.notes)
+            return f"{table}\n\nNotes:\n{notes}"
+        return table
+
+    def row_dicts(self) -> List[Dict[str, object]]:
+        """Rows as dictionaries keyed by header (for tests)."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for ratio aggregation)."""
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (kept here so experiments read uniformly)."""
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)

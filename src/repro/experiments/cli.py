@@ -1,0 +1,153 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples
+--------
+Run everything at the default reduced scale and print the tables::
+
+    repro-experiments --all
+
+Run a single experiment at smoke scale (fast)::
+
+    repro-experiments --scale smoke figure5
+
+Write the results to a file (appending one section per experiment)::
+
+    repro-experiments --all --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import dss_data, priority_data
+from repro.experiments import figure2, figure5, figure6, figure7, figure8, table1, table2
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+
+#: Experiment name -> runner.  Runners that share simulation data accept it
+#: through keyword arguments; the CLI wires that up in :func:`run_selected`.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "figure2": figure2.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of 'Enabling Preemptive "
+        "Multiprogramming on GPUs' (ISCA 2014).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiments to run: {', '.join(EXPERIMENTS)} (use --all for everything)",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--scale",
+        default="reduced",
+        choices=["full", "reduced", "smoke"],
+        help="workload scale preset (default: reduced)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="process counts to evaluate (default: 2 4 6 8)",
+    )
+    parser.add_argument(
+        "--workloads", type=int, default=None, help="random workloads per process count"
+    )
+    parser.add_argument("--seed", type=int, default=2014, help="workload generation seed")
+    parser.add_argument("--output", default=None, help="write results to this file as well")
+    return parser
+
+
+def make_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Translate parsed CLI arguments into an experiment configuration."""
+    base = ExperimentConfig(scale=args.scale, seed=args.seed)
+    updates = {}
+    if args.processes:
+        updates["process_counts"] = tuple(args.processes)
+    if args.workloads:
+        updates["workloads_per_count"] = args.workloads
+    if updates:
+        import dataclasses
+
+        base = dataclasses.replace(base, **updates)
+    return base
+
+
+def run_selected(names: List[str], config: ExperimentConfig) -> List[ExperimentResult]:
+    """Run the selected experiments, sharing simulation data where possible."""
+    results: List[ExperimentResult] = []
+    priority_cache = None
+    dss_cache = None
+    for name in names:
+        started = time.time()
+        if name == "figure5":
+            if priority_cache is None:
+                schemes = (
+                    tuple(priority_data.PRIORITY_SCHEMES)
+                    if "figure6" in names
+                    else priority_data.FIGURE5_SCHEMES
+                )
+                priority_cache = priority_data.collect(config, schemes=schemes)
+            result = figure5.run(config, data=priority_cache)
+        elif name == "figure6":
+            if priority_cache is None:
+                priority_cache = priority_data.collect(config)
+            result = figure6.run(config, data=priority_cache)
+        elif name == "figure7":
+            if dss_cache is None:
+                dss_cache = dss_data.collect(config)
+            result = figure7.run(config, data=dss_cache)
+        elif name == "figure8":
+            if dss_cache is None:
+                dss_cache = dss_data.collect(config)
+            result = figure8.run(config, data=dss_cache)
+        else:
+            result = EXPERIMENTS[name](config)
+        result.notes.append(f"Wall-clock time: {time.time() - started:.1f} s")
+        results.append(result)
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    names = list(args.experiments)
+    if args.all:
+        names = list(EXPERIMENTS.keys())
+    if not names:
+        parser.print_help()
+        return 2
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    config = make_config(args)
+
+    results = run_selected(names, config)
+    output_chunks = [result.format() for result in results]
+    text = ("\n\n" + "=" * 78 + "\n\n").join(output_chunks)
+    print(text)
+    if args.output:
+        with open(args.output, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Shared simulation data for the equal-sharing DSS experiments (Figures 7/8).
+
+The paper evaluates the Dynamic Spatial Sharing policy with equal token
+budgets on random workloads of 2/4/6/8 processes, against the FCFS baseline,
+with both preemption mechanisms.  The data-transfer engine uses FCFS in all
+cases (Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.base import ExperimentConfig
+from repro.memory.transfer_engine import TransferSchedulingPolicy
+from repro.workloads.multiprogram import (
+    WorkloadResult,
+    WorkloadRunner,
+    WorkloadSpec,
+    generate_random_workloads,
+)
+
+#: Scheme name -> (policy name, mechanism name).
+DSS_SCHEMES: Dict[str, Tuple[str, str]] = {
+    "fcfs": ("fcfs", "context_switch"),
+    "dss_cs": ("dss", "context_switch"),
+    "dss_drain": ("dss", "draining"),
+}
+
+
+@dataclass
+class DSSExperimentData:
+    """All equal-sharing simulation results, keyed for reuse."""
+
+    config: ExperimentConfig
+    workloads: Dict[int, List[WorkloadSpec]] = field(default_factory=dict)
+    #: (process_count, workload_id, scheme) -> result
+    results: Dict[Tuple[int, int, str], WorkloadResult] = field(default_factory=dict)
+
+    def result(self, process_count: int, workload_id: int, scheme: str) -> WorkloadResult:
+        """Look up one simulated result."""
+        return self.results[(process_count, workload_id, scheme)]
+
+
+def collect(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    runner: Optional[WorkloadRunner] = None,
+    schemes: Tuple[str, ...] = tuple(DSS_SCHEMES),
+) -> DSSExperimentData:
+    """Simulate every random workload under FCFS and DSS (both mechanisms)."""
+    config = config if config is not None else ExperimentConfig()
+    runner = runner if runner is not None else config.make_runner()
+    benchmarks = list(config.benchmarks) if config.benchmarks else None
+    data = DSSExperimentData(config=config)
+
+    for process_count in config.process_counts:
+        specs = generate_random_workloads(
+            process_count,
+            config.workloads_per_count,
+            seed=config.seed,
+            benchmarks=benchmarks,
+        )
+        data.workloads[process_count] = specs
+        for spec in specs:
+            for scheme in schemes:
+                policy, mechanism = DSS_SCHEMES[scheme]
+                result = runner.run(
+                    spec,
+                    policy=policy,
+                    mechanism=mechanism,
+                    transfer_policy=TransferSchedulingPolicy.FCFS,
+                )
+                data.results[(process_count, spec.workload_id, scheme)] = result
+    return data

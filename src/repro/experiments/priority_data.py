@@ -1,0 +1,94 @@
+"""Shared simulation data for the priority experiments (Figures 5 and 6).
+
+Figures 5 and 6 evaluate the same set of priority workloads (one
+high-priority process per workload, every benchmark taking the high-priority
+role the same number of times) under several schedulers:
+
+* ``fcfs`` — the non-prioritized baseline (current GPUs),
+* ``npq`` — non-preemptive priority queues,
+* ``ppq_cs`` / ``ppq_drain`` — preemptive priority queues with exclusive
+  access, using the context-switch / draining mechanism,
+* ``ppq_shared_cs`` / ``ppq_shared_drain`` — the shared-access variant
+  (Figure 6b).
+
+Running them is the expensive part, so both figures share one
+:class:`PriorityExperimentData` instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.base import ExperimentConfig
+from repro.memory.transfer_engine import TransferSchedulingPolicy
+from repro.workloads.multiprogram import (
+    WorkloadResult,
+    WorkloadRunner,
+    WorkloadSpec,
+    generate_priority_workloads,
+)
+
+#: Scheme name -> (policy name, mechanism name, transfer policy).
+PRIORITY_SCHEMES: Dict[str, Tuple[str, str, TransferSchedulingPolicy]] = {
+    "fcfs": ("fcfs", "context_switch", TransferSchedulingPolicy.FCFS),
+    "npq": ("npq", "context_switch", TransferSchedulingPolicy.PRIORITY),
+    "ppq_cs": ("ppq", "context_switch", TransferSchedulingPolicy.PRIORITY),
+    "ppq_drain": ("ppq", "draining", TransferSchedulingPolicy.PRIORITY),
+    "ppq_shared_cs": ("ppq_shared", "context_switch", TransferSchedulingPolicy.PRIORITY),
+    "ppq_shared_drain": ("ppq_shared", "draining", TransferSchedulingPolicy.PRIORITY),
+}
+
+#: Schemes needed by Figure 5 only (Figure 6 adds the shared-access ones).
+FIGURE5_SCHEMES = ("fcfs", "npq", "ppq_cs", "ppq_drain")
+
+
+@dataclass
+class PriorityExperimentData:
+    """All priority-workload simulation results, keyed for reuse."""
+
+    config: ExperimentConfig
+    workloads: Dict[int, List[WorkloadSpec]] = field(default_factory=dict)
+    #: (process_count, workload_id, scheme) -> result
+    results: Dict[Tuple[int, int, str], WorkloadResult] = field(default_factory=dict)
+
+    def result(self, process_count: int, workload_id: int, scheme: str) -> WorkloadResult:
+        """Look up one simulated result."""
+        return self.results[(process_count, workload_id, scheme)]
+
+    def workload_ids(self, process_count: int) -> List[int]:
+        """Workload ids evaluated at one process count."""
+        return [spec.workload_id for spec in self.workloads[process_count]]
+
+
+def collect(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    schemes: Tuple[str, ...] = tuple(PRIORITY_SCHEMES),
+    runner: Optional[WorkloadRunner] = None,
+) -> PriorityExperimentData:
+    """Simulate every priority workload under the requested schemes."""
+    config = config if config is not None else ExperimentConfig()
+    runner = runner if runner is not None else config.make_runner()
+    data = PriorityExperimentData(config=config)
+    benchmarks = list(config.benchmarks) if config.benchmarks else None
+
+    for process_count in config.process_counts:
+        specs = generate_priority_workloads(
+            process_count,
+            workloads_per_benchmark=config.workloads_per_benchmark,
+            seed=config.seed,
+            benchmarks=benchmarks,
+        )
+        data.workloads[process_count] = specs
+        for spec in specs:
+            for scheme in schemes:
+                policy, mechanism, transfer_policy = PRIORITY_SCHEMES[scheme]
+                result = runner.run(
+                    spec,
+                    policy=policy,
+                    mechanism=mechanism,
+                    transfer_policy=transfer_policy,
+                )
+                data.results[(process_count, spec.workload_id, scheme)] = result
+    return data

@@ -1,0 +1,33 @@
+"""GPU execution-engine substrate.
+
+This package models the NVIDIA GK110 (Kepler)-class GPU the paper assumes as
+its baseline (Figure 1 of the paper): the hardware configuration
+(:mod:`repro.gpu.config`), static resource partitioning and occupancy rules
+(:mod:`repro.gpu.resources`), kernels and thread blocks
+(:mod:`repro.gpu.kernel`, :mod:`repro.gpu.thread_block`), the Streaming
+Multiprocessor (:mod:`repro.gpu.sm`), the SM driver that issues thread blocks
+and performs preemption bookkeeping (:mod:`repro.gpu.sm_driver`), GPU
+contexts (:mod:`repro.gpu.context`), hardware command queues and the command
+dispatcher (:mod:`repro.gpu.command_queue`, :mod:`repro.gpu.dispatcher`), and
+the execution engine that ties everything together
+(:mod:`repro.gpu.execution_engine`).
+"""
+
+from repro.gpu.config import GPUConfig, PCIeConfig, SystemConfig
+from repro.gpu.kernel import KernelLaunch, KernelSpec, KernelState
+from repro.gpu.resources import OccupancyCalculator, OccupancyResult, ResourceUsage
+from repro.gpu.thread_block import ThreadBlock, ThreadBlockState
+
+__all__ = [
+    "GPUConfig",
+    "PCIeConfig",
+    "SystemConfig",
+    "KernelSpec",
+    "KernelLaunch",
+    "KernelState",
+    "OccupancyCalculator",
+    "OccupancyResult",
+    "ResourceUsage",
+    "ThreadBlock",
+    "ThreadBlockState",
+]

@@ -1,0 +1,207 @@
+"""The execution engine: SMs + SM driver + scheduling framework + policy.
+
+This module ties together the substrate pieces (SMs, the SM driver, the
+scheduling framework) with the paper's contribution (preemption mechanisms
+and scheduling policies).  The engine exposes three interfaces:
+
+* :class:`~repro.gpu.dispatcher.CommandSink` — the command dispatcher pushes
+  kernel commands into the engine's per-context command buffers.
+* ``ExecutionEngineOps`` (see :mod:`repro.core.policies.base`) — scheduling
+  policies admit kernels, set up idle SMs and reserve running SMs.
+* ``PreemptionHost`` (see :mod:`repro.core.preemption.base`) — preemption
+  mechanisms schedule their latencies and hand back evicted thread blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.framework.framework import SchedulingFramework
+from repro.core.framework.tables import KernelStatusEntry
+from repro.core.policies.base import SchedulingPolicy
+from repro.core.preemption.base import PreemptionMechanism
+from repro.gpu.command_queue import Command, KernelCommand
+from repro.gpu.config import SystemConfig
+from repro.gpu.context import ContextTable, GPUContext
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.resources import OccupancyCalculator
+from repro.gpu.sm import SMState, StreamingMultiprocessor
+from repro.gpu.sm_driver import SMDriver
+from repro.gpu.thread_block import ThreadBlock
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry
+
+
+class ExecutionEngine:
+    """The GPU execution engine with multiprogramming extensions."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: SystemConfig,
+        *,
+        policy: SchedulingPolicy,
+        mechanism: PreemptionMechanism,
+        context_table: Optional[ContextTable] = None,
+    ):
+        self._sim = simulator
+        self._config = config
+        self.policy = policy
+        self.mechanism = mechanism
+        self.context_table = context_table if context_table is not None else ContextTable()
+
+        self.framework = SchedulingFramework(config)
+        self.occupancy = OccupancyCalculator(config.gpu)
+        self._sms: List[StreamingMultiprocessor] = [
+            StreamingMultiprocessor(i, config.gpu, simulator) for i in range(config.gpu.num_sms)
+        ]
+        self.sm_driver = SMDriver(self)
+        self.stats = StatRegistry()
+        self._backpressure_callbacks: List[Callable[[], None]] = []
+        #: Completed kernel launches, in completion order (for reporting).
+        self.completed_launches: List[KernelLaunch] = []
+
+        policy.bind(self)
+        mechanism.bind(self)
+
+    # ------------------------------------------------------------------
+    # Properties shared with policies and mechanisms
+    # ------------------------------------------------------------------
+    @property
+    def simulator(self) -> Simulator:
+        """The shared discrete-event simulator."""
+        return self._sim
+
+    @property
+    def system_config(self) -> SystemConfig:
+        """The system configuration."""
+        return self._config
+
+    @property
+    def num_sms(self) -> int:
+        """Number of SMs in the execution engine."""
+        return len(self._sms)
+
+    def sm(self, sm_id: int) -> StreamingMultiprocessor:
+        """The SM with the given id."""
+        return self._sms[sm_id]
+
+    def sms(self) -> List[StreamingMultiprocessor]:
+        """All SMs (index == sm_id)."""
+        return list(self._sms)
+
+    def context_for(self, context_id: int) -> Optional[GPUContext]:
+        """Look up a GPU context by id (``None`` if unknown)."""
+        return self.context_table.find(context_id)
+
+    # ------------------------------------------------------------------
+    # CommandSink interface (used by the command dispatcher)
+    # ------------------------------------------------------------------
+    def submit(self, command: Command) -> bool:
+        """Accept a kernel command into its context's command buffer."""
+        if not isinstance(command, KernelCommand):
+            raise TypeError("the execution engine only accepts kernel commands")
+        accepted = self.framework.buffer_command(command)
+        if accepted:
+            self.stats.counter("kernel_commands_accepted").add()
+            self.policy.on_command_buffered(command)
+        return accepted
+
+    def register_backpressure_callback(self, callback: Callable[[], None]) -> None:
+        """Register a callback invoked whenever a command buffer frees up."""
+        self._backpressure_callbacks.append(callback)
+
+    def _notify_backpressure(self) -> None:
+        for callback in self._backpressure_callbacks:
+            callback()
+
+    # ------------------------------------------------------------------
+    # ExecutionEngineOps interface (used by scheduling policies)
+    # ------------------------------------------------------------------
+    def activate_command(self, command: KernelCommand) -> KernelStatusEntry:
+        """Admit a buffered kernel command into the active queue and KSRT."""
+        spec = command.launch.spec
+        occupancy = self.occupancy.blocks_per_sm(
+            spec.usage, max_blocks_hint=spec.max_blocks_per_sm
+        )
+        entry = self.framework.activate_command(
+            command,
+            now=self._sim.now,
+            blocks_per_sm=occupancy.blocks_per_sm,
+            shared_memory_config=occupancy.shared_memory_config,
+        )
+        self.stats.counter("kernels_activated").add()
+        # The command buffer for this context is now free: the dispatcher may
+        # deliver the next command (e.g. a queued launch from another stream).
+        self._notify_backpressure()
+        return entry
+
+    def setup_sm(self, sm_id: int, ksr_index: int) -> None:
+        """Set up an idle SM for an active kernel (policy operation)."""
+        self.sm_driver.setup_sm(sm_id, ksr_index)
+
+    def reserve_sm(self, sm_id: int, next_ksr_index: Optional[int]) -> None:
+        """Reserve a running SM for another kernel (policy operation)."""
+        self.framework.mark_sm_reserved(sm_id, next_ksr_index)
+        sm = self._sms[sm_id]
+        sm.state = SMState.RESERVED
+        self.stats.counter("sm_reservations").add()
+        self.mechanism.initiate(sm)
+
+    def update_reservation(self, sm_id: int, next_ksr_index: Optional[int]) -> None:
+        """Re-target an in-flight reservation (paper Sec. 3.4 optimisation)."""
+        self.framework.update_sm_reservation(sm_id, next_ksr_index)
+
+    # ------------------------------------------------------------------
+    # PreemptionHost interface (used by preemption mechanisms)
+    # ------------------------------------------------------------------
+    def preemption_complete(self, sm_id: int, evicted_blocks: List[ThreadBlock]) -> None:
+        """The mechanism finished freeing ``sm_id``."""
+        self.stats.counter("preemptions_completed").add()
+        if evicted_blocks:
+            self.stats.counter("thread_blocks_evicted").add(len(evicted_blocks))
+        self.sm_driver.complete_preemption(sm_id, evicted_blocks)
+
+    # ------------------------------------------------------------------
+    # Notifications from the SM driver
+    # ------------------------------------------------------------------
+    def notify_sm_idle(self, sm_id: int, owner_ksr_index: Optional[int]) -> None:
+        """An SM was released to the idle pool; inform the policy."""
+        self.stats.counter("sm_idle_events").add()
+        self.policy.on_sm_idle(sm_id, owner_ksr_index)
+
+    def finish_kernel(self, ksr_index: int) -> None:
+        """All thread blocks of an active kernel completed."""
+        entry = self.framework.ksr(ksr_index)
+        command = self.framework.finish_kernel(ksr_index)
+        self.completed_launches.append(entry.launch)
+        self.stats.counter("kernels_completed").add()
+        # Notify the host process and the command dispatcher first (the
+        # stream that issued this kernel may immediately issue its next
+        # command), then let the policy react to the freed resources.
+        command.complete(self._sim.now)
+        self.policy.on_kernel_finished(ksr_index, entry)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def busy_sm_count(self) -> int:
+        """Number of SMs currently holding at least one thread block."""
+        return sum(1 for sm in self._sms if not sm.is_empty)
+
+    def utilization_snapshot(self) -> Dict[str, float]:
+        """Aggregate utilisation and bookkeeping statistics."""
+        now = self._sim.now
+        per_sm = [sm.busy_fraction(now) for sm in self._sms]
+        out = dict(self.stats.snapshot())
+        out["mean_sm_utilization"] = sum(per_sm) / len(per_sm) if per_sm else 0.0
+        out["blocks_executed"] = float(sum(sm.blocks_executed for sm in self._sms))
+        out["blocks_preempted"] = float(sum(sm.blocks_preempted for sm in self._sms))
+        out.update({f"framework.{k}": v for k, v in self.framework.snapshot().items()})
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionEngine(sms={self.num_sms}, policy={self.policy.name}, "
+            f"mechanism={self.mechanism.name})"
+        )

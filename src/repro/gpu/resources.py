@@ -1,0 +1,192 @@
+"""Static hardware partitioning of SM resources (occupancy rules).
+
+Concurrent execution of thread blocks on an SM "relies on static hardware
+partitioning, so the available hardware resources (e.g., registers and shared
+memory) are split among all the thread blocks in the SM.  The number of
+thread blocks that can run concurrently is thus determined by the first fully
+used hardware resource" (paper Sec. 2.3).
+
+:class:`OccupancyCalculator` implements those rules for the GK110
+configuration in :class:`repro.gpu.config.GPUConfig` and also produces the
+two derived per-kernel quantities Table 1 reports:
+
+* the fraction of on-chip storage (register file + shared memory) a fully
+  occupied SM uses, and
+* the projected context-save time of an SM, assuming the SM only gets its
+  share of the global memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUConfig
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Per-thread-block resource requirements of a kernel.
+
+    Attributes
+    ----------
+    registers_per_block:
+        Total 32-bit architectural registers used by one thread block
+        (threads per block x registers per thread), as reported in Table 1.
+    shared_memory_per_block:
+        Shared (scratch-pad) memory in bytes statically allocated per block.
+    threads_per_block:
+        Threads per block; bounded by the 2048-threads-per-SM limit.
+    """
+
+    registers_per_block: int
+    shared_memory_per_block: int
+    threads_per_block: int = 256
+
+    def __post_init__(self) -> None:
+        if self.registers_per_block < 0:
+            raise ValueError("registers_per_block must be non-negative")
+        if self.shared_memory_per_block < 0:
+            raise ValueError("shared_memory_per_block must be non-negative")
+        if self.threads_per_block <= 0:
+            raise ValueError("threads_per_block must be positive")
+
+    @property
+    def register_bytes_per_block(self) -> int:
+        """Register state of one block in bytes (4 bytes per register)."""
+        return self.registers_per_block * 4
+
+    @property
+    def state_bytes_per_block(self) -> int:
+        """Architectural state a context switch must save per block."""
+        return self.register_bytes_per_block + self.shared_memory_per_block
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Result of the static partitioning computation for one kernel."""
+
+    #: Number of thread blocks that fit concurrently on one SM.
+    blocks_per_sm: int
+    #: The resource that limits occupancy ("registers", "shared_memory",
+    #: "threads" or "blocks").
+    limiting_resource: str
+    #: Shared-memory configuration selected for the SM (bytes).
+    shared_memory_config: int
+    #: Fraction of on-chip storage (register file + selected shared memory
+    #: configuration... see note below) used when fully occupied.
+    storage_fraction: float
+    #: Bytes of architectural state resident on a fully occupied SM.
+    resident_state_bytes: int
+    #: Projected time to save that state over the SM's bandwidth share (µs).
+    context_save_time_us: float
+
+
+class OccupancyCalculator:
+    """Computes SM occupancy and context-switch state for kernels.
+
+    Notes on the storage-fraction definition
+    ----------------------------------------
+    Table 1's "Resour./SM (%)" column is the resident architectural state of a
+    fully occupied SM divided by the *maximum* on-chip storage of an SM
+    (256 KB register file + 48 KB shared memory = 304 KB), irrespective of the
+    shared-memory configuration actually selected.  For example ``lbm``
+    (15 blocks x 4320 registers x 4 B = 253.1 KB, no shared memory) gives
+    83.26 %, and ``histo.final`` (3 x 19456 x 4 B = 228 KB) gives 75.0 %,
+    matching the paper.  We reproduce that definition.
+    """
+
+    def __init__(self, config: GPUConfig):
+        self._config = config
+
+    @property
+    def config(self) -> GPUConfig:
+        """The GPU configuration the calculator operates on."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Occupancy
+    # ------------------------------------------------------------------
+    def blocks_per_sm(self, usage: ResourceUsage, max_blocks_hint: int | None = None) -> OccupancyResult:
+        """Compute how many blocks of a kernel fit on one SM.
+
+        Parameters
+        ----------
+        usage:
+            The kernel's per-block resource requirements.
+        max_blocks_hint:
+            Optional upper bound coming from a measured trace (Table 1's
+            "TBs/SM" column).  Real kernels are sometimes limited by factors
+            the coarse model does not capture (e.g. per-thread register
+            granularity, barriers); when a hint is given the result is clamped
+            to it, but never below 1.
+        """
+        cfg = self._config
+        shared_config = cfg.shared_memory_config_for(usage.shared_memory_per_block)
+
+        limits: dict[str, int] = {"blocks": cfg.max_thread_blocks_per_sm}
+        if usage.registers_per_block > 0:
+            limits["registers"] = cfg.registers_per_sm // usage.registers_per_block
+        if usage.shared_memory_per_block > 0:
+            limits["shared_memory"] = shared_config // usage.shared_memory_per_block
+        if usage.threads_per_block > 0:
+            limits["threads"] = cfg.max_threads_per_sm // usage.threads_per_block
+
+        limiting_resource = min(limits, key=lambda name: (limits[name], name))
+        blocks = limits[limiting_resource]
+        if blocks < 1:
+            raise ValueError(
+                "kernel cannot run: a single thread block exceeds the SM's "
+                f"{limiting_resource} capacity"
+            )
+        if max_blocks_hint is not None:
+            if max_blocks_hint < 1:
+                raise ValueError("max_blocks_hint must be at least 1")
+            if max_blocks_hint < blocks:
+                blocks = max_blocks_hint
+                limiting_resource = "trace_hint"
+
+        resident_state = blocks * usage.state_bytes_per_block
+        storage_fraction = resident_state / cfg.on_chip_state_bytes
+        save_time = self.context_save_time_us(usage, blocks)
+        return OccupancyResult(
+            blocks_per_sm=blocks,
+            limiting_resource=limiting_resource,
+            shared_memory_config=shared_config,
+            storage_fraction=storage_fraction,
+            resident_state_bytes=resident_state,
+            context_save_time_us=save_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Context-switch costs
+    # ------------------------------------------------------------------
+    def context_save_time_us(self, usage: ResourceUsage, resident_blocks: int) -> float:
+        """Projected time to save ``resident_blocks`` blocks of this kernel.
+
+        The paper projects the save time of a fully occupied SM assuming the
+        SM only uses its share of the global memory bandwidth
+        (208 GB/s / 13 SMs).  The same model is used during simulation for
+        partially occupied SMs by scaling with the number of resident blocks.
+        """
+        if resident_blocks < 0:
+            raise ValueError("resident_blocks must be non-negative")
+        state_bytes = resident_blocks * usage.state_bytes_per_block
+        return state_bytes / self._config.per_sm_bandwidth_bytes_per_us
+
+    def context_restore_time_us(self, usage: ResourceUsage, blocks: int) -> float:
+        """Time to restore ``blocks`` preempted blocks onto an SM.
+
+        Restoring moves the same amount of state in the opposite direction;
+        the model is symmetric.
+        """
+        return self.context_save_time_us(usage, blocks)
+
+    def block_save_time_us(self, usage: ResourceUsage) -> float:
+        """Save time attributable to a single thread block."""
+        return self.context_save_time_us(usage, 1)
+
+    def storage_fraction(self, usage: ResourceUsage, resident_blocks: int) -> float:
+        """Fraction of maximum on-chip storage used by ``resident_blocks``."""
+        return (
+            resident_blocks * usage.state_bytes_per_block / self._config.on_chip_state_bytes
+        )

@@ -1,0 +1,210 @@
+"""The Streaming Multiprocessor (SM) model.
+
+The simulator works at thread-block granularity: the SM holds a set of
+resident thread blocks, each of which finishes after its (remaining)
+execution time.  The SM itself is deliberately "dumb": the SM driver
+(:mod:`repro.gpu.sm_driver`) decides what to issue and when to preempt; the
+SM only tracks residency, schedules/cancels completion events and records
+per-SM context registers and utilisation statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Optional
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.thread_block import ThreadBlock
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+from repro.sim.stats import UtilizationTracker
+
+
+class SMState(enum.Enum):
+    """SM states tracked by the SM Status Table (paper Sec. 3.3)."""
+
+    IDLE = "idle"
+    #: Being configured for a kernel (context registers, KSR) by the driver.
+    SETUP = "setup"
+    RUNNING = "running"
+    #: Reserved by the scheduling policy; the preemption mechanism is freeing it.
+    RESERVED = "reserved"
+
+
+class StreamingMultiprocessor:
+    """One GPU core.
+
+    Parameters
+    ----------
+    sm_id:
+        Index of the SM within the execution engine.
+    config:
+        GPU hardware configuration (occupancy limits, latencies).
+    simulator:
+        The shared discrete-event simulator.
+    """
+
+    def __init__(self, sm_id: int, config: GPUConfig, simulator: Simulator):
+        self.sm_id = sm_id
+        self.config = config
+        self._sim = simulator
+
+        self.state = SMState.IDLE
+        #: Per-SM context registers added by the paper (Sec. 3.1).
+        self.context_id_register: Optional[int] = None
+        self.page_table_register: Optional[int] = None
+        #: KSR index of the kernel the SM is currently set up for.
+        self.ksr_index: Optional[int] = None
+        #: Maximum concurrently resident blocks for the current kernel.
+        self.max_resident_blocks: int = 0
+        #: Shared-memory configuration currently selected (bytes).
+        self.shared_memory_config: int = config.default_shared_memory_bytes
+
+        self._resident: Dict[tuple[int, int], ThreadBlock] = {}
+        self._completion_events: Dict[tuple[int, int], EventHandle] = {}
+
+        self.utilization = UtilizationTracker(simulator.now)
+        self.blocks_executed = 0
+        self.blocks_preempted = 0
+        self.preemptions = 0
+        self.setups = 0
+
+    # ------------------------------------------------------------------
+    # Setup / teardown
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        *,
+        ksr_index: int,
+        context_id: int,
+        page_table_base: int,
+        max_resident_blocks: int,
+        shared_memory_config: int,
+    ) -> None:
+        """Load the per-kernel and per-context state into the SM.
+
+        Called by the SM driver at the end of the setup latency.  The SM must
+        not be holding blocks from a previous kernel.
+        """
+        if self._resident:
+            raise RuntimeError(f"SM{self.sm_id}: configure() while thread blocks are resident")
+        self.ksr_index = ksr_index
+        self.context_id_register = context_id
+        self.page_table_register = page_table_base
+        self.max_resident_blocks = max_resident_blocks
+        self.shared_memory_config = shared_memory_config
+        self.state = SMState.RUNNING
+        self.setups += 1
+
+    def release(self) -> None:
+        """Clear the SM's kernel/context registers and return it to IDLE."""
+        if self._resident:
+            raise RuntimeError(f"SM{self.sm_id}: release() while thread blocks are resident")
+        self.ksr_index = None
+        self.context_id_register = None
+        self.page_table_register = None
+        self.max_resident_blocks = 0
+        self.state = SMState.IDLE
+        self.utilization.set_idle(self._sim.now)
+
+    # ------------------------------------------------------------------
+    # Thread-block execution
+    # ------------------------------------------------------------------
+    @property
+    def resident_blocks(self) -> int:
+        """Number of thread blocks currently resident."""
+        return len(self._resident)
+
+    @property
+    def has_free_slots(self) -> bool:
+        """Whether another block of the current kernel fits on the SM."""
+        return self.resident_blocks < self.max_resident_blocks
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no thread blocks are resident."""
+        return not self._resident
+
+    def resident(self) -> list[ThreadBlock]:
+        """The currently resident thread blocks (unspecified order)."""
+        return list(self._resident.values())
+
+    def start_block(
+        self,
+        block: ThreadBlock,
+        *,
+        extra_latency_us: float,
+        on_complete: Callable[[ThreadBlock], None],
+    ) -> None:
+        """Begin executing ``block`` on this SM.
+
+        ``extra_latency_us`` accounts for issue latency and, for preempted
+        blocks, the context-restore time; it is added before the block's
+        remaining execution time.  ``on_complete`` is invoked when the block
+        finishes (unless the completion is cancelled by a preemption).
+        """
+        if not self.has_free_slots:
+            raise RuntimeError(f"SM{self.sm_id}: no free slot for another thread block")
+        if block.key in self._resident:
+            raise RuntimeError(f"SM{self.sm_id}: block {block.key} already resident")
+        now = self._sim.now
+        block.start(self.sm_id, now)
+        self._resident[block.key] = block
+        self.utilization.set_busy(now)
+
+        def _complete(blk: ThreadBlock = block) -> None:
+            self._finish_block(blk, on_complete)
+
+        handle = self._sim.schedule(
+            extra_latency_us + block.remaining_time_us,
+            _complete,
+            label=f"sm{self.sm_id}.block{block.key}.complete",
+        )
+        self._completion_events[block.key] = handle
+
+    def _finish_block(self, block: ThreadBlock, on_complete: Callable[[ThreadBlock], None]) -> None:
+        """Internal completion callback for a resident block."""
+        self._completion_events.pop(block.key, None)
+        self._resident.pop(block.key, None)
+        block.complete(self._sim.now)
+        self.blocks_executed += 1
+        if not self._resident:
+            self.utilization.set_idle(self._sim.now)
+        on_complete(block)
+
+    def evict_all(self) -> list[ThreadBlock]:
+        """Preempt every resident block (context-switch mechanism).
+
+        Cancels the pending completion events, updates each block's remaining
+        execution time as of *now* and removes them from the SM.  Returns the
+        evicted blocks so the caller can push them into the PTBQ once the
+        context save completes.
+        """
+        now = self._sim.now
+        evicted: list[ThreadBlock] = []
+        for key, block in list(self._resident.items()):
+            handle = self._completion_events.pop(key, None)
+            if handle is not None:
+                self._sim.cancel(handle)
+            block.preempt(now)
+            evicted.append(block)
+            del self._resident[key]
+            self.blocks_preempted += 1
+        if evicted:
+            self.preemptions += 1
+        if not self._resident:
+            self.utilization.set_idle(now)
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def busy_fraction(self, now: Optional[float] = None) -> float:
+        """Fraction of time the SM has had at least one resident block."""
+        return self.utilization.utilization(now if now is not None else self._sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SM(id={self.sm_id}, state={self.state.value}, ksr={self.ksr_index}, "
+            f"resident={self.resident_blocks}/{self.max_resident_blocks})"
+        )

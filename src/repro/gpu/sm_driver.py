@@ -1,0 +1,249 @@
+"""The SM driver (paper Fig. 3).
+
+The SM driver performs the operational work of the execution engine: it sets
+up SMs for kernels (loading context and kernel status registers), issues
+thread blocks until SMs are fully occupied, reacts to thread-block
+completions, and — with the paper's extensions — cooperates with the
+preemption mechanism when the scheduling policy reserves an SM.
+
+The driver deliberately contains **no scheduling decisions**: which kernel an
+SM should run, and when an SM must be taken away from a kernel, is decided by
+the policy through the execution engine's operations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.sm import SMState, StreamingMultiprocessor
+from repro.gpu.thread_block import ThreadBlock
+from repro.sim.stats import StatRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.gpu.execution_engine import ExecutionEngine
+
+
+class SMDriver:
+    """Issues thread blocks to SMs and handles completions and preemptions."""
+
+    def __init__(self, engine: "ExecutionEngine"):
+        self._engine = engine
+        self.stats = StatRegistry()
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def _sim(self):
+        return self._engine.simulator
+
+    @property
+    def _framework(self):
+        return self._engine.framework
+
+    @property
+    def _config(self):
+        return self._engine.system_config
+
+    # ------------------------------------------------------------------
+    # SM setup
+    # ------------------------------------------------------------------
+    def setup_sm(self, sm_id: int, ksr_index: int) -> None:
+        """Begin setting up an idle SM for an active kernel.
+
+        The setup takes ``sm_setup_latency_us``; once it completes the driver
+        starts issuing thread blocks.
+        """
+        framework = self._framework
+        if not framework.ksr_valid(ksr_index):
+            raise ValueError(f"cannot set up SM{sm_id} for invalid KSR {ksr_index}")
+        framework.mark_sm_setup(sm_id, ksr_index)
+        sm = self._engine.sm(sm_id)
+        sm.state = SMState.SETUP
+        self.stats.counter("sm_setups").add()
+        expected_launch_id = framework.ksr(ksr_index).launch.launch_id
+        self._sim.schedule(
+            self._config.gpu.sm_setup_latency_us,
+            lambda: self._finish_setup(sm_id, ksr_index, expected_launch_id),
+            label=f"smdriver.setup.sm{sm_id}",
+        )
+
+    def _finish_setup(self, sm_id: int, ksr_index: int, expected_launch_id: int) -> None:
+        """Complete the setup and start filling the SM with thread blocks."""
+        framework = self._framework
+        sm = self._engine.sm(sm_id)
+        stale = (
+            not framework.ksr_valid(ksr_index)
+            or framework.ksr(ksr_index).launch.launch_id != expected_launch_id
+            or not framework.kernel_has_issuable_work(ksr_index)
+        )
+        if stale:
+            # The kernel finished (or its remaining blocks were all issued
+            # elsewhere, or its KSRT index was recycled by a different kernel)
+            # while this SM was being set up: release the SM.
+            self._release_sm(sm_id, owner_ksr=ksr_index)
+            return
+        entry = framework.ksr(ksr_index)
+        context = self._engine.context_for(entry.context_id)
+        sm.configure(
+            ksr_index=ksr_index,
+            context_id=entry.context_id,
+            page_table_base=context.page_table_base if context is not None else 0,
+            max_resident_blocks=entry.blocks_per_sm,
+            shared_memory_config=entry.shared_memory_config,
+        )
+        framework.mark_sm_running(sm_id)
+        self.fill_sm(sm_id)
+
+    # ------------------------------------------------------------------
+    # Thread-block issue
+    # ------------------------------------------------------------------
+    def fill_sm(self, sm_id: int) -> None:
+        """Issue thread blocks to ``sm_id`` until it is full or out of work.
+
+        Preempted thread blocks of the kernel are issued before fresh ones so
+        that the number of PTBQ entries stays bounded (paper Sec. 3.3).  If
+        the SM ends up with no resident blocks and nothing to issue, it is
+        released back to the idle pool and the policy is notified.
+        """
+        framework = self._framework
+        sm_entry = framework.sm_entry(sm_id)
+        if sm_entry.state is not SMState.RUNNING:
+            return
+        ksr_index = sm_entry.ksr_index
+        if not framework.ksr_valid(ksr_index):
+            self._release_sm(sm_id, owner_ksr=ksr_index)
+            return
+        entry = framework.ksr(ksr_index)
+        launch = entry.launch
+        sm = self._engine.sm(sm_id)
+
+        while sm.has_free_slots:
+            block, restore_latency = self._next_block(ksr_index, launch)
+            if block is None:
+                break
+            self._issue_block(sm, block, restore_latency)
+        framework.set_sm_running_blocks(sm_id, sm.resident_blocks)
+
+        if sm.is_empty:
+            self._release_sm(sm_id, owner_ksr=ksr_index)
+
+    def _next_block(
+        self, ksr_index: int, launch: KernelLaunch
+    ) -> tuple[Optional[ThreadBlock], float]:
+        """Pick the next block to issue: preempted blocks first, then fresh."""
+        framework = self._framework
+        block = framework.pop_preempted_block(ksr_index)
+        if block is not None:
+            usage = launch.spec.usage
+            restore = self._engine.mechanism.restore_latency_us(
+                block, usage.state_bytes_per_block
+            )
+            self.stats.counter("blocks_reissued").add()
+            return block, restore
+        if launch.has_unissued_blocks:
+            self.stats.counter("blocks_issued").add()
+            return launch.next_thread_block(), 0.0
+        return None, 0.0
+
+    def _issue_block(
+        self, sm: StreamingMultiprocessor, block: ThreadBlock, restore_latency: float
+    ) -> None:
+        """Start one block on ``sm``."""
+        extra = self._config.gpu.tb_issue_latency_us + restore_latency
+        sm.start_block(
+            block,
+            extra_latency_us=extra,
+            on_complete=lambda blk, sm_id=sm.sm_id: self.on_block_completed(sm_id, blk),
+        )
+
+    # ------------------------------------------------------------------
+    # Completion handling
+    # ------------------------------------------------------------------
+    def on_block_completed(self, sm_id: int, block: ThreadBlock) -> None:
+        """A thread block resident on ``sm_id`` finished execution."""
+        framework = self._framework
+        now = self._sim.now
+        sm_entry = framework.sm_entry(sm_id)
+        framework.set_sm_running_blocks(sm_id, self._engine.sm(sm_id).resident_blocks)
+
+        ksr_index = framework.ksr_index_for_launch(block.kernel_launch_id)
+        if ksr_index is None:  # pragma: no cover - defensive
+            raise RuntimeError("completed block belongs to no active kernel")
+        entry = framework.ksr(ksr_index)
+        entry.launch.notify_block_completed(block, now)
+        self.stats.counter("blocks_completed").add()
+
+        if entry.launch.all_blocks_completed:
+            # The kernel is finishing and this SM (necessarily empty now) was
+            # its last executor.  Release the SM *before* announcing the
+            # completion: the policy hooks triggered by finish_kernel (which
+            # may admit a new kernel that reuses this KSRT index) must never
+            # observe a stale RUNNING association for an empty SM.
+            if sm_entry.state is SMState.RUNNING and self._engine.sm(sm_id).is_empty:
+                self._release_sm(sm_id, owner_ksr=ksr_index)
+            self._engine.finish_kernel(ksr_index)
+
+        if sm_entry.state is SMState.RESERVED:
+            # The policy wants this SM; let the mechanism decide when it is free.
+            self._engine.mechanism.on_block_completed(self._engine.sm(sm_id))
+        elif sm_entry.state is SMState.RUNNING:
+            self.fill_sm(sm_id)
+
+    # ------------------------------------------------------------------
+    # Preemption completion
+    # ------------------------------------------------------------------
+    def complete_preemption(self, sm_id: int, evicted_blocks: List[ThreadBlock]) -> None:
+        """The preemption mechanism finished freeing ``sm_id``.
+
+        Evicted blocks (context-switch mechanism only) are stored in their
+        kernel's PTBQ.  The SM is then handed to the kernel it was reserved
+        for, or released to the idle pool if that kernel no longer needs it.
+        """
+        framework = self._framework
+        sm = self._engine.sm(sm_id)
+        sm_entry = framework.sm_entry(sm_id)
+        if sm_entry.state is not SMState.RESERVED:
+            # The reservation was already resolved through another path (e.g.
+            # the draining mechanism completed via a block-completion
+            # notification before its zero-delay "already empty" event fired).
+            # Preempted state, if any, must still be preserved.
+            for block in evicted_blocks:  # pragma: no cover - defensive
+                ksr_index = framework.ksr_index_for_launch(block.kernel_launch_id)
+                if ksr_index is not None:
+                    framework.push_preempted_block(ksr_index, block)
+            self.stats.counter("stale_preemption_completions").add()
+            return
+
+        for block in evicted_blocks:
+            ksr_index = framework.ksr_index_for_launch(block.kernel_launch_id)
+            if ksr_index is None:  # pragma: no cover - defensive
+                raise RuntimeError("evicted block belongs to no active kernel")
+            framework.push_preempted_block(ksr_index, block)
+        self.stats.counter("preemptions_completed").add()
+
+        next_ksr = sm_entry.next_ksr_index
+        owner = next_ksr if next_ksr is not None else sm_entry.ksr_index
+        # Release the SM: clears SMST/KSRT assignment and SM registers.
+        previous = framework.mark_sm_idle(sm_id)
+        if sm.state is not SMState.IDLE:
+            sm.release()
+
+        if framework.ksr_valid(next_ksr) and framework.kernel_has_issuable_work(next_ksr):
+            self.setup_sm(sm_id, next_ksr)
+        else:
+            self._engine.notify_sm_idle(sm_id, owner if owner is not None else previous)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _release_sm(self, sm_id: int, *, owner_ksr: Optional[int]) -> None:
+        """Return an SM to the idle pool and notify the policy."""
+        framework = self._framework
+        sm = self._engine.sm(sm_id)
+        previous = framework.mark_sm_idle(sm_id)
+        if sm.state is not SMState.IDLE:
+            sm.release()
+        self.stats.counter("sm_releases").add()
+        self._engine.notify_sm_idle(sm_id, owner_ksr if owner_ksr is not None else previous)

@@ -1,0 +1,21 @@
+"""Host-side (CPU) model.
+
+The paper models the CPU coarsely: each benchmark's host code is a sequence
+of timed CPU phases and CUDA API calls.  This package provides:
+
+* :mod:`repro.host.cpu` — the host CPU (a pool of hardware threads in which
+  CPU phases execute).
+* :mod:`repro.host.stream` — CUDA-like software streams.
+* :mod:`repro.host.driver` — the GPU device driver: context creation, memory
+  allocation, mapping streams to hardware queues and building GPU commands.
+* :mod:`repro.host.process` — a host process that replays an application
+  trace, issuing commands through the driver and blocking on synchronisation
+  points.
+"""
+
+from repro.host.cpu import HostCPU
+from repro.host.driver import DeviceDriver
+from repro.host.process import HostProcess, IterationRecord
+from repro.host.stream import Stream
+
+__all__ = ["HostCPU", "DeviceDriver", "HostProcess", "IterationRecord", "Stream"]

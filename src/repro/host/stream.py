@@ -1,0 +1,76 @@
+"""CUDA-like software streams.
+
+Streams are FIFO work queues: commands in the same stream execute in order,
+commands in different streams are independent and may overlap (paper
+Sec. 2.1).  The in-order guarantee is physically enforced by mapping each
+stream to its own hardware command queue; the :class:`Stream` object tracks
+the outstanding commands so the host can implement ``StreamSynchronize``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.gpu.command_queue import Command
+
+
+class Stream:
+    """One software stream of a process."""
+
+    def __init__(self, stream_id: int, hw_queue_id: int):
+        self.stream_id = stream_id
+        #: The hardware command queue the driver mapped this stream to.
+        self.hw_queue_id = hw_queue_id
+        self._outstanding: List[Command] = []
+        self.total_commands = 0
+
+    # ------------------------------------------------------------------
+    # Command tracking
+    # ------------------------------------------------------------------
+    def track(self, command: Command) -> None:
+        """Record a command issued to this stream."""
+        self._outstanding.append(command)
+        self.total_commands += 1
+        command.subscribe_completion(lambda now, cmd=command: self._forget(cmd))
+
+    def _forget(self, command: Command) -> None:
+        try:
+            self._outstanding.remove(command)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    @property
+    def outstanding(self) -> int:
+        """Number of issued-but-incomplete commands in the stream."""
+        return len(self._outstanding)
+
+    @property
+    def idle(self) -> bool:
+        """Whether every command issued to the stream has completed."""
+        return not self._outstanding
+
+    def last_outstanding(self) -> Optional[Command]:
+        """The most recently issued incomplete command (if any)."""
+        return self._outstanding[-1] if self._outstanding else None
+
+    def when_idle(self, callback: Callable[[float], None]) -> bool:
+        """Invoke ``callback`` when the stream drains.
+
+        Returns ``True`` if the stream is already idle (callback NOT called);
+        otherwise subscribes the callback to the completion of the last
+        outstanding command and returns ``False``.
+
+        Because the stream is in-order, the last outstanding command is
+        always the last one to complete.
+        """
+        last = self.last_outstanding()
+        if last is None:
+            return True
+        last.subscribe_completion(callback)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Stream(id={self.stream_id}, hwq={self.hw_queue_id}, "
+            f"outstanding={self.outstanding})"
+        )

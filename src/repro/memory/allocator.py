@@ -1,0 +1,98 @@
+"""The GPU physical-memory allocator.
+
+Current-generation GPUs (including the paper's baseline) do not support
+demand paging, so every allocation from every context must fit in device
+memory at the same time (paper Sec. 2.2).  The allocator hands out physical
+frames to per-context address spaces and enforces both capacity and
+isolation: a frame belongs to exactly one context until freed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.memory.address_space import PAGE_SIZE, AddressSpace, Allocation
+from repro.memory.dram import DRAMModel
+
+
+class AllocationError(MemoryError):
+    """Raised when device memory cannot satisfy an allocation."""
+
+
+class GPUMemoryAllocator:
+    """Frame-granular allocator over the GPU DRAM."""
+
+    def __init__(self, dram: DRAMModel):
+        self._dram = dram
+        self._next_frame = 0
+        #: frame -> owning context id, for isolation checking.
+        self._frame_owner: Dict[int, int] = {}
+        self._spaces: Dict[int, AddressSpace] = {}
+
+    # ------------------------------------------------------------------
+    # Address spaces
+    # ------------------------------------------------------------------
+    def address_space(self, context_id: int) -> AddressSpace:
+        """The (lazily created) address space of ``context_id``."""
+        if context_id not in self._spaces:
+            self._spaces[context_id] = AddressSpace(context_id)
+        return self._spaces[context_id]
+
+    def destroy_address_space(self, context_id: int) -> None:
+        """Free every allocation of a context (process teardown)."""
+        space = self._spaces.pop(context_id, None)
+        if space is None:
+            return
+        for allocation in space.allocations():
+            self._release_frames(allocation)
+            space.remove_allocation(allocation.virtual_address)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def malloc(self, context_id: int, size_bytes: int) -> Allocation:
+        """Allocate ``size_bytes`` of device memory for ``context_id``."""
+        if size_bytes <= 0:
+            raise ValueError("allocation size must be positive")
+        num_pages = -(-size_bytes // PAGE_SIZE)
+        reserve_bytes = num_pages * PAGE_SIZE
+        try:
+            self._dram.reserve(reserve_bytes)
+        except MemoryError as exc:
+            raise AllocationError(str(exc)) from exc
+        first_frame = self._next_frame
+        self._next_frame += num_pages
+        for frame in range(first_frame, first_frame + num_pages):
+            self._frame_owner[frame] = context_id
+        space = self.address_space(context_id)
+        return space.record_allocation(size_bytes, first_frame)
+
+    def free(self, context_id: int, virtual_address: int) -> None:
+        """Free an allocation owned by ``context_id``."""
+        space = self.address_space(context_id)
+        allocation = space.remove_allocation(virtual_address)
+        self._release_frames(allocation)
+
+    def _release_frames(self, allocation: Allocation) -> None:
+        for frame in range(allocation.first_frame, allocation.first_frame + allocation.num_pages):
+            self._frame_owner.pop(frame, None)
+        self._dram.release(allocation.num_pages * PAGE_SIZE)
+
+    # ------------------------------------------------------------------
+    # Isolation queries
+    # ------------------------------------------------------------------
+    def frame_owner(self, frame: int) -> Optional[int]:
+        """The context owning a physical frame (``None`` if free)."""
+        return self._frame_owner.get(frame)
+
+    def owns(self, context_id: int, virtual_address: int) -> bool:
+        """Whether ``context_id`` has a live mapping covering the address."""
+        space = self._spaces.get(context_id)
+        if space is None:
+            return False
+        return space.page_table.is_mapped(virtual_address)
+
+    @property
+    def total_allocated_bytes(self) -> int:
+        """Bytes reserved in DRAM across all contexts (page granular)."""
+        return self._dram.allocated_bytes

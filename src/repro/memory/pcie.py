@@ -1,0 +1,80 @@
+"""The PCI Express interconnect model (paper Table 2).
+
+The bus is modelled as a shared, full-duplex channel: at most one DMA
+transfer per direction occupies the bus at a time (the data-transfer engine
+serialises transfers anyway), each transfer pays a fixed setup latency and a
+burst-granular wire time at the configured bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.gpu.command_queue import TransferDirection
+from repro.gpu.config import PCIeConfig
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry, UtilizationTracker
+
+
+class PCIeBus:
+    """Shared PCIe link between host memory and GPU memory."""
+
+    def __init__(self, config: PCIeConfig, simulator: Simulator):
+        self._config = config
+        self._sim = simulator
+        self.stats = StatRegistry()
+        self._busy: dict[TransferDirection, bool] = {
+            TransferDirection.HOST_TO_DEVICE: False,
+            TransferDirection.DEVICE_TO_HOST: False,
+        }
+        self.utilization = {
+            TransferDirection.HOST_TO_DEVICE: UtilizationTracker(simulator.now),
+            TransferDirection.DEVICE_TO_HOST: UtilizationTracker(simulator.now),
+        }
+
+    @property
+    def config(self) -> PCIeConfig:
+        """The PCIe configuration."""
+        return self._config
+
+    def transfer_latency_us(self, size_bytes: int) -> float:
+        """End-to-end latency of one transfer (setup + wire time)."""
+        return self._config.transfer_setup_latency_us + self._config.transfer_time_us(size_bytes)
+
+    def is_busy(self, direction: TransferDirection) -> bool:
+        """Whether a transfer currently occupies the given direction."""
+        return self._busy[direction]
+
+    def start_transfer(
+        self,
+        size_bytes: int,
+        direction: TransferDirection,
+        on_complete: Callable[[], None],
+        *,
+        label: str = "",
+    ) -> float:
+        """Occupy the bus for one transfer and schedule its completion.
+
+        Returns the transfer latency.  The caller (the data-transfer engine)
+        is responsible for not starting two transfers in the same direction
+        at once; doing so raises ``RuntimeError``.
+        """
+        if self._busy[direction]:
+            raise RuntimeError(f"PCIe bus is already busy in direction {direction.value}")
+        latency = self.transfer_latency_us(size_bytes)
+        self._busy[direction] = True
+        self.utilization[direction].set_busy(self._sim.now)
+        self.stats.counter("transfers").add()
+        self.stats.counter("bytes_transferred", unit="B").add(size_bytes)
+
+        def _finish() -> None:
+            self._busy[direction] = False
+            self.utilization[direction].set_idle(self._sim.now)
+            on_complete()
+
+        self._sim.schedule(latency, _finish, label=label or f"pcie.{direction.value}")
+        return latency
+
+    def utilization_fraction(self, direction: TransferDirection, now: Optional[float] = None) -> float:
+        """Busy fraction of one direction of the link."""
+        return self.utilization[direction].utilization(now if now is not None else self._sim.now)

@@ -1,0 +1,19 @@
+"""Multiprogram performance metrics (Eyerman & Eeckhout; paper Sec. 4.1)."""
+
+from repro.metrics.multiprogram import (
+    MultiprogramMetrics,
+    average_normalized_turnaround_time,
+    fairness,
+    normalized_progress,
+    normalized_turnaround_time,
+    system_throughput,
+)
+
+__all__ = [
+    "MultiprogramMetrics",
+    "normalized_turnaround_time",
+    "average_normalized_turnaround_time",
+    "normalized_progress",
+    "system_throughput",
+    "fairness",
+]

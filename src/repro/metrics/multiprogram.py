@@ -1,0 +1,108 @@
+"""System-level metrics for multiprogram workloads.
+
+All metrics follow Eyerman & Eeckhout, "System-level performance metrics for
+multiprogram workloads" (IEEE Micro 2008), which the paper adopts
+(Sec. 4.1).  Every metric compares the performance of an application inside
+the multiprogrammed workload against its isolated execution:
+
+* **NTT** (normalized turnaround time) of application *i*:
+  ``T_multi(i) / T_isolated(i)`` — slowdown, >= 1 in the common case.
+* **ANTT**: the arithmetic mean of the NTTs (lower is better).
+* **STP** (system throughput): ``sum_i T_isolated(i) / T_multi(i)`` — the
+  aggregate rate of progress, between 0 and the number of processes
+  (higher is better).
+* **Fairness**: the ratio of the minimum to the maximum normalized progress
+  over all applications, between 0 (starvation) and 1 (perfectly equal
+  slowdowns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+
+def normalized_turnaround_time(multi_time_us: float, isolated_time_us: float) -> float:
+    """NTT of one application (its slowdown in the multiprogrammed run)."""
+    if isolated_time_us <= 0:
+        raise ValueError("isolated time must be positive")
+    if multi_time_us <= 0:
+        raise ValueError("multiprogrammed time must be positive")
+    return multi_time_us / isolated_time_us
+
+
+def normalized_progress(multi_time_us: float, isolated_time_us: float) -> float:
+    """Normalized progress of one application (the inverse of its NTT)."""
+    return 1.0 / normalized_turnaround_time(multi_time_us, isolated_time_us)
+
+
+def average_normalized_turnaround_time(
+    multi_times_us: Mapping[str, float], isolated_times_us: Mapping[str, float]
+) -> float:
+    """ANTT over all applications in the workload (lower is better)."""
+    ntts = _per_process_ntt(multi_times_us, isolated_times_us)
+    return sum(ntts.values()) / len(ntts)
+
+
+def system_throughput(
+    multi_times_us: Mapping[str, float], isolated_times_us: Mapping[str, float]
+) -> float:
+    """STP over all applications in the workload (higher is better)."""
+    ntts = _per_process_ntt(multi_times_us, isolated_times_us)
+    return sum(1.0 / ntt for ntt in ntts.values())
+
+
+def fairness(
+    multi_times_us: Mapping[str, float], isolated_times_us: Mapping[str, float]
+) -> float:
+    """Fairness: min over max normalized progress (1 = perfectly fair)."""
+    ntts = _per_process_ntt(multi_times_us, isolated_times_us)
+    progress = [1.0 / ntt for ntt in ntts.values()]
+    top = max(progress)
+    if top == 0:
+        return 0.0
+    return min(progress) / top
+
+
+def _per_process_ntt(
+    multi_times_us: Mapping[str, float], isolated_times_us: Mapping[str, float]
+) -> Dict[str, float]:
+    if not multi_times_us:
+        raise ValueError("metrics need at least one application")
+    missing = set(multi_times_us) - set(isolated_times_us)
+    if missing:
+        raise KeyError(f"isolated times missing for: {sorted(missing)}")
+    return {
+        name: normalized_turnaround_time(multi_times_us[name], isolated_times_us[name])
+        for name in multi_times_us
+    }
+
+
+@dataclass(frozen=True)
+class MultiprogramMetrics:
+    """All four metrics of one multiprogrammed run, plus the per-process NTTs."""
+
+    ntt: Dict[str, float]
+    antt: float
+    stp: float
+    fairness: float
+
+    @classmethod
+    def compute(
+        cls,
+        multi_times_us: Mapping[str, float],
+        isolated_times_us: Mapping[str, float],
+    ) -> "MultiprogramMetrics":
+        """Compute every metric from per-process mean turnaround times."""
+        ntts = _per_process_ntt(multi_times_us, isolated_times_us)
+        progress = [1.0 / v for v in ntts.values()]
+        return cls(
+            ntt=ntts,
+            antt=sum(ntts.values()) / len(ntts),
+            stp=sum(progress),
+            fairness=(min(progress) / max(progress)) if max(progress) > 0 else 0.0,
+        )
+
+    def ntt_of(self, process_name: str) -> float:
+        """NTT of one process in the workload."""
+        return self.ntt[process_name]

@@ -1,0 +1,189 @@
+"""The discrete-event simulation engine.
+
+The engine is intentionally small: a time-ordered heap of events, a current
+simulation time, and helpers to schedule, cancel and run.  Every hardware
+model in :mod:`repro.gpu`, :mod:`repro.memory` and :mod:`repro.host` is built
+as a set of callbacks scheduled on one shared :class:`Simulator` instance.
+
+Times are floats in **microseconds**.  The engine never rounds times; the
+models themselves decide their own granularity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Optional
+
+from repro.sim.events import Event, EventHandle, make_event
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (scheduling in the past, etc.)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0, 5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+        self.events_scheduled = 0
+        self.events_cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` microseconds from now.
+
+        ``delay`` must be non-negative; a zero delay schedules the callback at
+        the current time (it will run after the currently-executing event
+        finishes, ordered by priority and scheduling order).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} us in the past")
+        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} before current time t={self._now}"
+            )
+        event = make_event(time, callback, priority=priority, label=label)
+        heapq.heappush(self._heap, event)
+        self.events_scheduled += 1
+        return EventHandle(event)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not handle.cancelled:
+            handle.cancel()
+            self.events_cancelled += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next pending event.
+
+        Returns ``True`` if an event was processed, ``False`` if the event
+        queue is empty (cancelled events are discarded transparently).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event heap yielded an event from the past")
+            self._now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains, ``until`` is reached, or stopped.
+
+        Parameters
+        ----------
+        until:
+            Optional absolute time bound.  Events scheduled strictly after
+            ``until`` are left in the queue and the clock is advanced to
+            ``until``.
+        max_events:
+            Optional safety bound on the number of events to process; mostly
+            useful in tests to catch livelocks.
+        """
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    return
+                next_event = self._peek()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    self._now = max(self._now, until)
+                    return
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events}; possible livelock"
+                    )
+                if self.step():
+                    processed += 1
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` returns after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[Event]:
+        """Return the next non-cancelled event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def pending_labels(self) -> Iterable[str]:
+        """Labels of pending events (debugging aid for tests)."""
+        return [event.label for event in sorted(self._heap) if not event.cancelled]
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        event = self._peek()
+        return event.time if event is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.3f}us, pending={self.pending_events}, "
+            f"processed={self.events_processed})"
+        )

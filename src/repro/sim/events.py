@@ -1,0 +1,120 @@
+"""Event primitives for the discrete-event simulation engine.
+
+An :class:`Event` couples a firing time with a callback.  Events are ordered
+by ``(time, priority, sequence)`` so that simultaneous events fire in a
+deterministic order: first by explicit priority (lower fires earlier), then by
+scheduling order.  Determinism matters because the whole reproduction relies
+on seeded, repeatable runs (see DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Monotonically increasing sequence shared by every event ever created.  The
+#: sequence only breaks ties between events scheduled for the same time and
+#: priority, so sharing it across simulator instances is harmless.
+_EVENT_SEQUENCE = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (microseconds) at which the event fires.
+    priority:
+        Tie-breaker for events scheduled at the same time.  Lower values fire
+        first.  The engines in :mod:`repro.gpu` use priorities to guarantee,
+        e.g., that a thread-block completion is processed before the kernel
+        completion check scheduled at the same instant.
+    seq:
+        Monotonic sequence number assigned at scheduling time; the final
+        tie-breaker, which makes event ordering fully deterministic.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    priority: int
+    seq: int = field(compare=True)
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when it is popped."""
+        self.cancelled = True
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`repro.sim.engine.Simulator.schedule`.
+
+    The handle allows the owner to cancel a pending event without exposing the
+    mutable :class:`Event` object itself.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute time the event is scheduled to fire at."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """Human-readable label given at scheduling time (may be empty)."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this handle."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the pending event; a no-op if it already fired."""
+        self._event.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, {state}, label={self.label!r})"
+
+
+def next_sequence() -> int:
+    """Return the next global event sequence number."""
+    return next(_EVENT_SEQUENCE)
+
+
+def make_event(
+    time: float,
+    callback: Callable[[], None],
+    *,
+    priority: int = 0,
+    label: str = "",
+) -> Event:
+    """Create an :class:`Event` with the next global sequence number."""
+    return Event(
+        time=time,
+        priority=priority,
+        seq=next_sequence(),
+        callback=callback,
+        label=label,
+    )
+
+
+def callback_with_args(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Callable[[], None]:
+    """Bind ``fn(*args, **kwargs)`` into a zero-argument event callback."""
+
+    def _bound() -> None:
+        fn(*args, **kwargs)
+
+    return _bound

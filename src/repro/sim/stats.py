@@ -1,0 +1,186 @@
+"""Statistics primitives used across the simulator.
+
+The experiment harness (``repro.experiments``) reports ratios of aggregate
+measurements (turnaround times, throughput, fairness).  The models themselves
+collect lower-level statistics — SM busy time, preemption counts, transfer
+byte counts — with the primitives in this module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Counter:
+    """A plain named counter with an optional unit."""
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increment the counter by ``amount`` (default 1)."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value}{self.unit})"
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max (Welford's algorithm)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations (0.0 for < 2 samples)."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningStats({self.name}: n={self.count}, mean={self.mean:.3f})"
+
+
+class TimeWeightedAverage:
+    """Average of a piecewise-constant signal weighted by time.
+
+    Used, e.g., to track the average number of resident thread blocks on an SM
+    or the average queue depth of the execution queue.
+    """
+
+    def __init__(self, start_time: float = 0.0, initial_value: float = 0.0):
+        self._last_time = start_time
+        self._value = initial_value
+        self._weighted_sum = 0.0
+        self._total_time = 0.0
+
+    def update(self, now: float, new_value: float) -> None:
+        """Record that the signal changes to ``new_value`` at time ``now``."""
+        if now < self._last_time:
+            raise ValueError("time went backwards in TimeWeightedAverage.update")
+        span = now - self._last_time
+        self._weighted_sum += self._value * span
+        self._total_time += span
+        self._value = new_value
+        self._last_time = now
+
+    def finalize(self, now: float) -> None:
+        """Close the last interval at ``now`` without changing the value."""
+        self.update(now, self._value)
+
+    @property
+    def current(self) -> float:
+        """The most recently recorded value of the signal."""
+        return self._value
+
+    @property
+    def average(self) -> float:
+        """Time-weighted average over all closed intervals."""
+        return self._weighted_sum / self._total_time if self._total_time > 0 else 0.0
+
+
+class UtilizationTracker:
+    """Tracks the fraction of time a resource spends busy.
+
+    The resource reports ``set_busy``/``set_idle`` transitions; the tracker
+    accumulates busy time between them.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._busy_since: Optional[float] = None
+        self._busy_time = 0.0
+        self._start_time = start_time
+        self.transitions = 0
+
+    def set_busy(self, now: float) -> None:
+        """Mark the resource busy starting at ``now`` (idempotent)."""
+        if self._busy_since is None:
+            self._busy_since = now
+            self.transitions += 1
+
+    def set_idle(self, now: float) -> None:
+        """Mark the resource idle at ``now`` (idempotent)."""
+        if self._busy_since is not None:
+            self._busy_time += now - self._busy_since
+            self._busy_since = None
+            self.transitions += 1
+
+    def busy_time(self, now: float) -> float:
+        """Total busy time observed up to ``now``."""
+        extra = (now - self._busy_since) if self._busy_since is not None else 0.0
+        return self._busy_time + extra
+
+    def utilization(self, now: float) -> float:
+        """Busy fraction in ``[0, 1]`` over the window ``[start_time, now]``."""
+        span = now - self._start_time
+        if span <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(now) / span)
+
+
+@dataclass
+class StatRegistry:
+    """A flat namespace of named statistics owned by one simulated component.
+
+    Components create their counters and stats through the registry so that
+    the experiment harness can dump everything with one call.
+    """
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    running: Dict[str, RunningStats] = field(default_factory=dict)
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        if name not in self.counters:
+            self.counters[name] = Counter(name, unit)
+        return self.counters[name]
+
+    def stats(self, name: str) -> RunningStats:
+        """Return (creating if needed) the running-stats entry ``name``."""
+        if name not in self.running:
+            self.running[name] = RunningStats(name)
+        return self.running[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten all statistics into a ``{name: value}`` dictionary."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[name] = counter.value
+        for name, rstats in self.running.items():
+            out[f"{name}.mean"] = rstats.mean
+            out[f"{name}.count"] = float(rstats.count)
+            if rstats.count:
+                out[f"{name}.min"] = rstats.minimum
+                out[f"{name}.max"] = rstats.maximum
+        return out

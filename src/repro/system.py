@@ -1,0 +1,221 @@
+"""The top-level simulated system: host + PCIe + GPU.
+
+:class:`GPUSystem` wires every substrate together — the discrete-event
+simulator, the host CPU and device driver, the PCIe bus and data-transfer
+engine, and the GPU execution engine with a chosen scheduling policy and
+preemption mechanism — and provides the entry points the examples, tests and
+experiment harness use:
+
+>>> from repro import GPUSystem
+>>> from repro.trace import TraceGenerator
+>>> system = GPUSystem(policy="fcfs", mechanism="context_switch")
+>>> trace = TraceGenerator().uniform_kernel("demo", num_blocks=64, tb_time_us=5.0)
+>>> process = system.add_process("demo", trace, max_iterations=1)
+>>> system.run()
+>>> round(process.mean_iteration_time_us(), 1) > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.policies import SchedulingPolicy, make_policy
+from repro.core.preemption import PreemptionMechanism, make_mechanism
+from repro.gpu.config import SystemConfig
+from repro.gpu.context import ContextTable
+from repro.gpu.dispatcher import CommandDispatcher
+from repro.gpu.execution_engine import ExecutionEngine
+from repro.host.cpu import HostCPU
+from repro.host.driver import DeviceDriver
+from repro.host.process import HostProcess, IterationRecord
+from repro.memory.allocator import GPUMemoryAllocator
+from repro.memory.dram import DRAMModel
+from repro.memory.pcie import PCIeBus
+from repro.memory.transfer_engine import DataTransferEngine, TransferSchedulingPolicy
+from repro.sim.engine import Simulator
+from repro.trace.schema import ApplicationTrace
+
+
+class GPUSystem:
+    """A complete simulated CPU+GPU system."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        *,
+        policy: Union[str, SchedulingPolicy] = "fcfs",
+        mechanism: Union[str, PreemptionMechanism] = "context_switch",
+        transfer_policy: Union[str, TransferSchedulingPolicy] = TransferSchedulingPolicy.FCFS,
+        policy_options: Optional[Dict] = None,
+    ):
+        self.config = config if config is not None else SystemConfig()
+        self.simulator = Simulator()
+
+        if isinstance(policy, str):
+            policy = make_policy(policy, **(policy_options or {}))
+        elif policy_options:
+            raise ValueError("policy_options are only valid with a policy name")
+        if isinstance(mechanism, str):
+            mechanism = make_mechanism(mechanism)
+        if isinstance(transfer_policy, str):
+            transfer_policy = TransferSchedulingPolicy(transfer_policy)
+
+        self.context_table = ContextTable()
+        self.dram = DRAMModel(self.config.gpu)
+        self.allocator = GPUMemoryAllocator(self.dram)
+        self.pcie = PCIeBus(self.config.pcie, self.simulator)
+        self.transfer_engine = DataTransferEngine(
+            self.simulator, self.pcie, policy=transfer_policy
+        )
+        self.execution_engine = ExecutionEngine(
+            self.simulator,
+            self.config,
+            policy=policy,
+            mechanism=mechanism,
+            context_table=self.context_table,
+        )
+        self.dispatcher = CommandDispatcher(
+            self.simulator,
+            num_queues=self.config.gpu.num_hw_queues,
+            execution_sink=self.execution_engine,
+            transfer_sink=self.transfer_engine,
+        )
+        self.cpu = HostCPU(self.config.cpu, self.simulator)
+        self.driver = DeviceDriver(
+            self.simulator,
+            self.config,
+            context_table=self.context_table,
+            allocator=self.allocator,
+            dispatcher=self.dispatcher,
+        )
+        self.processes: List[HostProcess] = []
+        #: Minimum completed iterations per process before :meth:`run` with
+        #: ``stop_after_min_iterations`` halts the simulation.
+        self._min_iterations: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Workload construction
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> SchedulingPolicy:
+        """The execution-engine scheduling policy."""
+        return self.execution_engine.policy
+
+    @property
+    def mechanism(self) -> PreemptionMechanism:
+        """The preemption mechanism in use."""
+        return self.execution_engine.mechanism
+
+    def add_process(
+        self,
+        name: str,
+        trace: ApplicationTrace,
+        *,
+        priority: int = 0,
+        tokens: int = 0,
+        start_delay_us: float = 0.0,
+        max_iterations: Optional[int] = None,
+    ) -> HostProcess:
+        """Add (but do not yet start) a host process replaying ``trace``."""
+        if any(p.name == name for p in self.processes):
+            raise ValueError(f"a process named {name!r} already exists")
+        process = HostProcess(
+            name,
+            trace,
+            simulator=self.simulator,
+            driver=self.driver,
+            cpu=self.cpu,
+            priority=priority,
+            tokens=tokens,
+            start_delay_us=start_delay_us,
+            max_iterations=max_iterations,
+            on_iteration_complete=self._on_iteration_complete,
+        )
+        self.processes.append(process)
+        return process
+
+    def process(self, name: str) -> HostProcess:
+        """Look up a process by name."""
+        for process in self.processes:
+            if process.name == name:
+                return process
+        raise KeyError(f"no process named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        until_us: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_after_min_iterations: Optional[int] = None,
+    ) -> None:
+        """Start every process and run the simulation.
+
+        Parameters
+        ----------
+        until_us:
+            Optional simulated-time bound.
+        max_events:
+            Optional bound on processed events (livelock guard in tests).
+        stop_after_min_iterations:
+            Stop the simulation as soon as *every* process has completed at
+            least this many iterations (the paper's replay methodology).
+        """
+        self._min_iterations = stop_after_min_iterations
+        for process in self.processes:
+            if not process._started:  # noqa: SLF001 - intentional internal check
+                process.start()
+        self.simulator.run(until=until_us, max_events=max_events)
+
+    def _on_iteration_complete(self, process: HostProcess, record: IterationRecord) -> None:
+        if self._min_iterations is None:
+            return
+        if all(p.completed_iterations >= self._min_iterations for p in self.processes):
+            for p in self.processes:
+                p.stop()
+            self.simulator.stop()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def iteration_times_us(self) -> Dict[str, List[float]]:
+        """Completed-iteration durations per process."""
+        return {
+            process.name: [record.duration_us for record in process.iterations]
+            for process in self.processes
+        }
+
+    def mean_iteration_times_us(self) -> Dict[str, float]:
+        """Mean completed-iteration duration per process."""
+        return {
+            process.name: process.mean_iteration_time_us()
+            for process in self.processes
+            if process.iterations
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GPUSystem(policy={self.policy.name}, mechanism={self.mechanism.name}, "
+            f"processes={len(self.processes)})"
+        )
+
+
+def run_isolated(
+    trace: ApplicationTrace,
+    *,
+    config: Optional[SystemConfig] = None,
+    mechanism: Union[str, PreemptionMechanism] = "context_switch",
+    iterations: int = 1,
+) -> float:
+    """Run one application alone on the GPU and return its mean iteration time.
+
+    Isolated execution times are the baseline of every multiprogram metric
+    (NTT, ANTT, STP, fairness).
+    """
+    system = GPUSystem(config, policy="fcfs", mechanism=mechanism)
+    process = system.add_process(trace.name, trace, max_iterations=iterations)
+    system.run()
+    return process.mean_iteration_time_us()

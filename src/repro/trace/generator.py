@@ -1,0 +1,166 @@
+"""Synthetic trace generation.
+
+The Parboil application models in :mod:`repro.workloads.parboil` build their
+traces from the published Table 1 statistics.  This module provides the
+generic building blocks they use, plus fully synthetic traces (uniform
+kernels, persistent kernels) for unit tests, examples and ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.gpu.command_queue import TransferDirection
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.resources import ResourceUsage
+from repro.trace.schema import (
+    ApplicationTrace,
+    CpuPhaseOp,
+    DeviceSyncOp,
+    KernelLaunchOp,
+    MallocOp,
+    MemcpyOp,
+    TraceOp,
+)
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class KernelPhase:
+    """One compute phase of a generated application.
+
+    ``launches`` consecutive launches of ``kernel``, each preceded by
+    ``cpu_time_us`` of host work, optionally synchronising after every
+    launch.
+    """
+
+    kernel: KernelSpec
+    launches: int = 1
+    cpu_time_us: float = 0.0
+    sync_every_launch: bool = True
+    stream: int = 0
+
+    def __post_init__(self) -> None:
+        if self.launches < 1:
+            raise ValueError("a kernel phase needs at least one launch")
+        if self.cpu_time_us < 0:
+            raise ValueError("cpu_time_us must be non-negative")
+
+
+class TraceGenerator:
+    """Builds :class:`~repro.trace.schema.ApplicationTrace` objects."""
+
+    def build(
+        self,
+        name: str,
+        *,
+        phases: Sequence[KernelPhase],
+        input_bytes: int = 4 * MIB,
+        output_bytes: int = 4 * MIB,
+        setup_cpu_time_us: float = 100.0,
+        teardown_cpu_time_us: float = 100.0,
+        kernel_class: Optional[str] = None,
+        application_class: Optional[str] = None,
+    ) -> ApplicationTrace:
+        """Assemble an application trace from compute phases.
+
+        The generated structure follows the typical GPU application the paper
+        describes (Sec. 2.1): host-side setup, input transfers to the device,
+        repeated bursts of CPU work and kernel launches, output transfers
+        back to the host.
+        """
+        kernels = {}
+        for phase in phases:
+            existing = kernels.get(phase.kernel.name)
+            if existing is not None and existing is not phase.kernel:
+                raise ValueError(f"two different kernel specs share the name {phase.kernel.name!r}")
+            kernels[phase.kernel.name] = phase.kernel
+
+        operations: List[TraceOp] = []
+        operations.append(CpuPhaseOp(setup_cpu_time_us))
+        operations.append(MallocOp(max(1, input_bytes), label="input"))
+        operations.append(MallocOp(max(1, output_bytes), label="output"))
+        if input_bytes > 0:
+            operations.append(
+                MemcpyOp(input_bytes, TransferDirection.HOST_TO_DEVICE, synchronous=True)
+            )
+        for phase in phases:
+            for _ in range(phase.launches):
+                if phase.cpu_time_us > 0:
+                    operations.append(CpuPhaseOp(phase.cpu_time_us))
+                operations.append(KernelLaunchOp(phase.kernel.name, stream=phase.stream))
+                if phase.sync_every_launch:
+                    operations.append(DeviceSyncOp())
+        if not any(isinstance(op, DeviceSyncOp) for op in operations[-2:]):
+            operations.append(DeviceSyncOp())
+        if output_bytes > 0:
+            operations.append(
+                MemcpyOp(output_bytes, TransferDirection.DEVICE_TO_HOST, synchronous=True)
+            )
+        operations.append(CpuPhaseOp(teardown_cpu_time_us))
+
+        streams = sorted({0, *(phase.stream for phase in phases)})
+        return ApplicationTrace(
+            name=name,
+            kernels=kernels,
+            operations=operations,
+            streams=tuple(streams),
+            kernel_class=kernel_class,
+            application_class=application_class,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience synthetic applications
+    # ------------------------------------------------------------------
+    def uniform_kernel(
+        self,
+        name: str,
+        *,
+        num_blocks: int = 128,
+        tb_time_us: float = 10.0,
+        registers_per_block: int = 8192,
+        shared_memory_per_block: int = 0,
+        launches: int = 1,
+        cpu_time_us: float = 10.0,
+        blocks_per_sm: Optional[int] = None,
+    ) -> ApplicationTrace:
+        """A single-kernel application with uniform thread blocks."""
+        spec = KernelSpec(
+            name=f"{name}_kernel",
+            benchmark=name,
+            num_thread_blocks=num_blocks,
+            avg_tb_time_us=tb_time_us,
+            usage=ResourceUsage(
+                registers_per_block=registers_per_block,
+                shared_memory_per_block=shared_memory_per_block,
+            ),
+            max_blocks_per_sm=blocks_per_sm,
+            launches_per_run=launches,
+        )
+        phase = KernelPhase(kernel=spec, launches=launches, cpu_time_us=cpu_time_us)
+        return self.build(name, phases=[phase])
+
+    def persistent_kernel(
+        self,
+        name: str = "persistent",
+        *,
+        block_time_us: float = 1_000_000.0,
+        num_blocks: int = 13,
+    ) -> ApplicationTrace:
+        """A persistent-threads style application.
+
+        Its thread blocks effectively never finish on the time scales of the
+        other applications, which is the case where the draining mechanism
+        cannot preempt (paper Sec. 3.2); used by tests and the starvation
+        example.
+        """
+        return self.uniform_kernel(
+            name,
+            num_blocks=num_blocks,
+            tb_time_us=block_time_us,
+            registers_per_block=16384,
+            cpu_time_us=1.0,
+        )

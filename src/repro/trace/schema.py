@@ -1,0 +1,202 @@
+"""Trace schema: the operations an application performs, in program order.
+
+A trace captures everything between the first and the last CUDA call of the
+application — memory allocations, host/device transfers, kernel launches,
+synchronisation points and the CPU execution phases in between (paper
+Sec. 4.1).  The host model (:mod:`repro.host.process`) replays the trace, and
+the workload generator replays whole traces repeatedly to build even
+multiprogrammed workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.gpu.command_queue import TransferDirection
+from repro.gpu.kernel import KernelSpec
+
+
+@dataclass(frozen=True)
+class CpuPhaseOp:
+    """Host CPU execution for ``duration_us`` microseconds."""
+
+    duration_us: float
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise ValueError("CPU phase duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class MallocOp:
+    """Allocate ``size_bytes`` of device memory under ``label``."""
+
+    size_bytes: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("allocation size must be positive")
+
+
+@dataclass(frozen=True)
+class FreeOp:
+    """Free the allocation previously created under ``label``."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class MemcpyOp:
+    """Transfer ``size_bytes`` between host and device memory."""
+
+    size_bytes: int
+    direction: TransferDirection
+    stream: int = 0
+    #: Synchronous copies block the host until the transfer completes
+    #: (cudaMemcpy); asynchronous ones return immediately (cudaMemcpyAsync).
+    synchronous: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("transfer size must be positive")
+
+
+@dataclass(frozen=True)
+class KernelLaunchOp:
+    """Launch the kernel registered in the trace under ``kernel_name``."""
+
+    kernel_name: str
+    stream: int = 0
+
+
+@dataclass(frozen=True)
+class StreamSyncOp:
+    """Block the host until every command in ``stream`` has completed."""
+
+    stream: int = 0
+
+
+@dataclass(frozen=True)
+class DeviceSyncOp:
+    """Block the host until every outstanding command has completed."""
+
+
+TraceOp = Union[
+    CpuPhaseOp, MallocOp, FreeOp, MemcpyOp, KernelLaunchOp, StreamSyncOp, DeviceSyncOp
+]
+
+
+@dataclass
+class ApplicationTrace:
+    """The full trace of one application run.
+
+    Attributes
+    ----------
+    name:
+        Application (benchmark) name.
+    kernels:
+        The kernel specs referenced by the trace's launch operations.
+    operations:
+        The operations in program order.
+    streams:
+        Software streams the application creates (stream 0 always exists).
+    """
+
+    name: str
+    kernels: Dict[str, KernelSpec]
+    operations: List[TraceOp] = field(default_factory=list)
+    streams: Sequence[int] = (0,)
+    #: Optional descriptive class labels used by the evaluation
+    #: (paper Table 1, "Class 1" by kernel length and "Class 2" by
+    #: application length).
+    kernel_class: Optional[str] = None
+    application_class: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation and queries
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal consistency of the trace."""
+        labels: set[str] = set()
+        for op in self.operations:
+            if isinstance(op, KernelLaunchOp) and op.kernel_name not in self.kernels:
+                raise ValueError(
+                    f"trace {self.name}: launch references unknown kernel {op.kernel_name!r}"
+                )
+            if isinstance(op, (KernelLaunchOp, MemcpyOp, StreamSyncOp)):
+                stream = op.stream
+                if stream not in self.streams:
+                    raise ValueError(f"trace {self.name}: unknown stream {stream}")
+            if isinstance(op, MallocOp) and op.label:
+                labels.add(op.label)
+            if isinstance(op, FreeOp) and op.label not in labels:
+                raise ValueError(f"trace {self.name}: free of unknown allocation {op.label!r}")
+
+    @property
+    def kernel_launch_count(self) -> int:
+        """Total number of kernel launches in one run of the trace."""
+        return sum(1 for op in self.operations if isinstance(op, KernelLaunchOp))
+
+    @property
+    def total_cpu_time_us(self) -> float:
+        """Total CPU-phase time in one run of the trace."""
+        return sum(op.duration_us for op in self.operations if isinstance(op, CpuPhaseOp))
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        """Total bytes moved over PCIe in one run of the trace."""
+        return sum(op.size_bytes for op in self.operations if isinstance(op, MemcpyOp))
+
+    def nominal_kernel_time_us(self) -> float:
+        """Sum of measured isolated kernel times over all launches.
+
+        Uses Table 1's measured kernel times when available, otherwise the
+        blocks x per-block-time estimate; useful for sanity checks only.
+        """
+        total = 0.0
+        for op in self.operations:
+            if not isinstance(op, KernelLaunchOp):
+                continue
+            spec = self.kernels[op.kernel_name]
+            if spec.measured_kernel_time_us is not None:
+                total += spec.measured_kernel_time_us
+            else:
+                total += spec.nominal_kernel_time_us
+        return total
+
+    def scaled(self, tb_scale: float, *, launch_scale: float = 1.0) -> "ApplicationTrace":
+        """Return a reduced-scale copy of the trace (DESIGN.md Sec. 3.6).
+
+        ``tb_scale`` scales every kernel's thread-block count;
+        ``launch_scale`` drops a fraction of repeated kernel launches (keeping
+        at least one launch of each kernel).  Per-block times, resource usage
+        and the CPU/transfer structure are preserved.
+        """
+        if launch_scale <= 0 or launch_scale > 1:
+            raise ValueError("launch_scale must be in (0, 1]")
+        scaled_kernels = {name: spec.scaled(tb_scale) for name, spec in self.kernels.items()}
+        operations: List[TraceOp] = []
+        launch_counts: Dict[str, int] = {}
+        kept_counts: Dict[str, int] = {}
+        for op in self.operations:
+            if isinstance(op, KernelLaunchOp):
+                seen = launch_counts.get(op.kernel_name, 0)
+                launch_counts[op.kernel_name] = seen + 1
+                target_kept = max(1, round((seen + 1) * launch_scale))
+                if kept_counts.get(op.kernel_name, 0) >= target_kept:
+                    continue
+                kept_counts[op.kernel_name] = kept_counts.get(op.kernel_name, 0) + 1
+            operations.append(op)
+        return ApplicationTrace(
+            name=self.name,
+            kernels=scaled_kernels,
+            operations=operations,
+            streams=self.streams,
+            kernel_class=self.kernel_class,
+            application_class=self.application_class,
+        )

@@ -1,0 +1,131 @@
+"""JSON-friendly (de)serialisation of application traces.
+
+Traces are plain data, so they can be stored alongside experiment results
+for inspection or replayed later without re-running the generator.  The
+format is a nested dictionary of built-in types (suitable for ``json.dump``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.gpu.command_queue import TransferDirection
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.resources import ResourceUsage
+from repro.trace.schema import (
+    ApplicationTrace,
+    CpuPhaseOp,
+    DeviceSyncOp,
+    FreeOp,
+    KernelLaunchOp,
+    MallocOp,
+    MemcpyOp,
+    StreamSyncOp,
+    TraceOp,
+)
+
+
+def _kernel_to_dict(spec: KernelSpec) -> Dict[str, Any]:
+    return {
+        "name": spec.name,
+        "benchmark": spec.benchmark,
+        "num_thread_blocks": spec.num_thread_blocks,
+        "avg_tb_time_us": spec.avg_tb_time_us,
+        "registers_per_block": spec.usage.registers_per_block,
+        "shared_memory_per_block": spec.usage.shared_memory_per_block,
+        "threads_per_block": spec.usage.threads_per_block,
+        "max_blocks_per_sm": spec.max_blocks_per_sm,
+        "measured_kernel_time_us": spec.measured_kernel_time_us,
+        "launches_per_run": spec.launches_per_run,
+    }
+
+
+def _kernel_from_dict(data: Dict[str, Any]) -> KernelSpec:
+    return KernelSpec(
+        name=data["name"],
+        benchmark=data["benchmark"],
+        num_thread_blocks=int(data["num_thread_blocks"]),
+        avg_tb_time_us=float(data["avg_tb_time_us"]),
+        usage=ResourceUsage(
+            registers_per_block=int(data["registers_per_block"]),
+            shared_memory_per_block=int(data["shared_memory_per_block"]),
+            threads_per_block=int(data.get("threads_per_block", 256)),
+        ),
+        max_blocks_per_sm=data.get("max_blocks_per_sm"),
+        measured_kernel_time_us=data.get("measured_kernel_time_us"),
+        launches_per_run=int(data.get("launches_per_run", 1)),
+    )
+
+
+def _op_to_dict(op: TraceOp) -> Dict[str, Any]:
+    if isinstance(op, CpuPhaseOp):
+        return {"op": "cpu", "duration_us": op.duration_us}
+    if isinstance(op, MallocOp):
+        return {"op": "malloc", "size_bytes": op.size_bytes, "label": op.label}
+    if isinstance(op, FreeOp):
+        return {"op": "free", "label": op.label}
+    if isinstance(op, MemcpyOp):
+        return {
+            "op": "memcpy",
+            "size_bytes": op.size_bytes,
+            "direction": op.direction.value,
+            "stream": op.stream,
+            "synchronous": op.synchronous,
+        }
+    if isinstance(op, KernelLaunchOp):
+        return {"op": "launch", "kernel": op.kernel_name, "stream": op.stream}
+    if isinstance(op, StreamSyncOp):
+        return {"op": "stream_sync", "stream": op.stream}
+    if isinstance(op, DeviceSyncOp):
+        return {"op": "device_sync"}
+    raise TypeError(f"unknown trace operation: {op!r}")
+
+
+def _op_from_dict(data: Dict[str, Any]) -> TraceOp:
+    kind = data["op"]
+    if kind == "cpu":
+        return CpuPhaseOp(float(data["duration_us"]))
+    if kind == "malloc":
+        return MallocOp(int(data["size_bytes"]), label=data.get("label", ""))
+    if kind == "free":
+        return FreeOp(label=data["label"])
+    if kind == "memcpy":
+        return MemcpyOp(
+            int(data["size_bytes"]),
+            TransferDirection(data["direction"]),
+            stream=int(data.get("stream", 0)),
+            synchronous=bool(data.get("synchronous", True)),
+        )
+    if kind == "launch":
+        return KernelLaunchOp(data["kernel"], stream=int(data.get("stream", 0)))
+    if kind == "stream_sync":
+        return StreamSyncOp(stream=int(data.get("stream", 0)))
+    if kind == "device_sync":
+        return DeviceSyncOp()
+    raise ValueError(f"unknown trace operation kind: {kind!r}")
+
+
+def trace_to_dict(trace: ApplicationTrace) -> Dict[str, Any]:
+    """Convert a trace to a JSON-serialisable dictionary."""
+    return {
+        "name": trace.name,
+        "streams": list(trace.streams),
+        "kernel_class": trace.kernel_class,
+        "application_class": trace.application_class,
+        "kernels": {name: _kernel_to_dict(spec) for name, spec in trace.kernels.items()},
+        "operations": [_op_to_dict(op) for op in trace.operations],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> ApplicationTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    kernels = {name: _kernel_from_dict(k) for name, k in data["kernels"].items()}
+    operations: List[TraceOp] = [_op_from_dict(op) for op in data["operations"]]
+    return ApplicationTrace(
+        name=data["name"],
+        kernels=kernels,
+        operations=operations,
+        streams=tuple(data.get("streams", (0,))),
+        kernel_class=data.get("kernel_class"),
+        application_class=data.get("application_class"),
+    )

@@ -1,0 +1,6 @@
+"""Small shared utilities (deterministic pseudo-randomness, formatting)."""
+
+from repro.utils.determinism import DeterministicJitter, hash_uniform, stable_hash
+from repro.utils.tables import format_table
+
+__all__ = ["DeterministicJitter", "hash_uniform", "stable_hash", "format_table"]

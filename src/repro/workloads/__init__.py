@@ -1,0 +1,44 @@
+"""Workloads: Parboil benchmark models and multiprogrammed workload generation.
+
+* :mod:`repro.workloads.parboil` — the ten Parboil applications of the
+  paper's Table 1, encoded as kernel statistics plus synthesised application
+  traces.
+* :mod:`repro.workloads.multiprogram` — random multiprogrammed workload
+  composition, the replay methodology of Sec. 4.1, and helpers to run a
+  workload under a chosen policy/mechanism and collect per-process timings.
+* :mod:`repro.workloads.scale` — the reduced-scale presets used to keep
+  Python simulation times tractable (documented substitution, DESIGN.md
+  Sec. 3.6).
+"""
+
+from repro.workloads.multiprogram import (
+    IsolatedBaseline,
+    WorkloadResult,
+    WorkloadRunner,
+    WorkloadSpec,
+    generate_priority_workloads,
+    generate_random_workloads,
+)
+from repro.workloads.parboil import (
+    BENCHMARK_NAMES,
+    KernelRecord,
+    ParboilApplication,
+    ParboilSuite,
+    TABLE1_RECORDS,
+)
+from repro.workloads.scale import WorkloadScale
+
+__all__ = [
+    "KernelRecord",
+    "TABLE1_RECORDS",
+    "BENCHMARK_NAMES",
+    "ParboilApplication",
+    "ParboilSuite",
+    "WorkloadScale",
+    "WorkloadSpec",
+    "WorkloadResult",
+    "WorkloadRunner",
+    "IsolatedBaseline",
+    "generate_random_workloads",
+    "generate_priority_workloads",
+]

@@ -1,0 +1,334 @@
+"""Multiprogrammed workload composition and execution (paper Sec. 4.1).
+
+The paper builds multiprogrammed workloads by co-scheduling randomly chosen
+Parboil applications (2, 4, 6 or 8 processes), replaying every application
+until each has completed at least three full runs, and computing the
+multiprogram metrics from the completed runs only.  This module provides:
+
+* :class:`WorkloadSpec` — one workload (an ordered list of applications, with
+  an optional high-priority process).
+* :func:`generate_random_workloads` / :func:`generate_priority_workloads` —
+  seeded random workload generation.
+* :class:`IsolatedBaseline` — cached isolated execution times of every
+  application (the denominator of every metric).
+* :class:`WorkloadRunner` — builds a :class:`~repro.system.GPUSystem` for a
+  workload under a chosen policy and preemption mechanism, runs it with the
+  replay methodology, and returns the per-process timings and metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.gpu.config import SystemConfig
+from repro.memory.transfer_engine import TransferSchedulingPolicy
+from repro.metrics.multiprogram import MultiprogramMetrics
+from repro.system import GPUSystem
+from repro.workloads.parboil import ParboilSuite
+from repro.workloads.scale import WorkloadScale
+
+#: Priority assigned to the high-priority process of priority workloads.
+HIGH_PRIORITY = 10
+#: Priority of every other process.
+NORMAL_PRIORITY = 0
+
+#: Safety bound on events per simulated workload (livelock guard).
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One multiprogrammed workload."""
+
+    #: Application (benchmark) names, one per process, in start order.
+    applications: Sequence[str]
+    #: Index into ``applications`` of the high-priority process (or ``None``).
+    high_priority_index: Optional[int] = None
+    #: Identifier used in reports (workload number within its generation).
+    workload_id: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.applications) < 1:
+            raise ValueError("a workload needs at least one application")
+        if self.high_priority_index is not None and not (
+            0 <= self.high_priority_index < len(self.applications)
+        ):
+            raise ValueError("high_priority_index out of range")
+
+    @property
+    def num_processes(self) -> int:
+        """Number of processes in the workload."""
+        return len(self.applications)
+
+    @property
+    def high_priority_application(self) -> Optional[str]:
+        """Benchmark name of the high-priority process (if any)."""
+        if self.high_priority_index is None:
+            return None
+        return self.applications[self.high_priority_index]
+
+    def process_names(self) -> List[str]:
+        """Unique process names (``app#slot``) for the workload."""
+        return [f"{app}#{slot}" for slot, app in enumerate(self.applications)]
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        parts = []
+        for slot, app in enumerate(self.applications):
+            marker = "*" if slot == self.high_priority_index else ""
+            parts.append(f"{app}{marker}")
+        return f"W{self.workload_id}[{', '.join(parts)}]"
+
+
+# ----------------------------------------------------------------------
+# Workload generation
+# ----------------------------------------------------------------------
+def generate_random_workloads(
+    num_processes: int,
+    count: int,
+    *,
+    seed: int = 2014,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[WorkloadSpec]:
+    """Generate ``count`` random workloads of ``num_processes`` processes.
+
+    Applications are drawn without replacement while the benchmark pool
+    lasts (at most 10 distinct applications), then with replacement, which
+    mirrors "co-scheduling several benchmark applications chosen randomly".
+    """
+    if num_processes < 1:
+        raise ValueError("num_processes must be positive")
+    if count < 1:
+        raise ValueError("count must be positive")
+    pool = list(benchmarks) if benchmarks is not None else list(ParboilSuite().names())
+    rng = random.Random(seed * 1_000_003 + num_processes)
+    workloads = []
+    for workload_id in range(count):
+        apps = _draw_applications(rng, pool, num_processes)
+        workloads.append(WorkloadSpec(applications=tuple(apps), workload_id=workload_id))
+    return workloads
+
+
+def generate_priority_workloads(
+    num_processes: int,
+    *,
+    workloads_per_benchmark: int = 1,
+    seed: int = 2014,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[WorkloadSpec]:
+    """Generate priority workloads for the Figure 5/6 experiments.
+
+    Every benchmark appears as the high-priority process the same number of
+    times (``workloads_per_benchmark``); the remaining processes are drawn
+    randomly from the full pool.
+    """
+    if num_processes < 2:
+        raise ValueError("priority workloads need at least two processes")
+    pool = list(benchmarks) if benchmarks is not None else list(ParboilSuite().names())
+    rng = random.Random(seed * 7_000_003 + num_processes)
+    workloads = []
+    workload_id = 0
+    for high_priority_app in pool:
+        for _ in range(workloads_per_benchmark):
+            others_pool = [name for name in pool if name != high_priority_app] or pool
+            others = _draw_applications(rng, others_pool, num_processes - 1)
+            apps = [high_priority_app, *others]
+            workloads.append(
+                WorkloadSpec(
+                    applications=tuple(apps),
+                    high_priority_index=0,
+                    workload_id=workload_id,
+                )
+            )
+            workload_id += 1
+    return workloads
+
+
+def _draw_applications(rng: random.Random, pool: Sequence[str], count: int) -> List[str]:
+    """Draw ``count`` applications, without replacement while possible."""
+    chosen: List[str] = []
+    remaining = list(pool)
+    rng.shuffle(remaining)
+    while len(chosen) < count:
+        if not remaining:
+            remaining = list(pool)
+            rng.shuffle(remaining)
+        chosen.append(remaining.pop())
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# Isolated baselines
+# ----------------------------------------------------------------------
+class IsolatedBaseline:
+    """Cached isolated execution times of every application."""
+
+    def __init__(
+        self,
+        suite: ParboilSuite,
+        *,
+        config: Optional[SystemConfig] = None,
+        iterations: int = 1,
+    ):
+        self._suite = suite
+        self._config = config if config is not None else SystemConfig()
+        self._iterations = iterations
+        self._cache: Dict[str, float] = {}
+
+    def time_us(self, application: str) -> float:
+        """Isolated mean iteration time of ``application`` (cached)."""
+        if application not in self._cache:
+            system = GPUSystem(self._config, policy="fcfs", mechanism="context_switch")
+            trace = self._suite.trace(application)
+            process = system.add_process(application, trace, max_iterations=self._iterations)
+            system.run(max_events=DEFAULT_MAX_EVENTS)
+            self._cache[application] = process.mean_iteration_time_us()
+        return self._cache[application]
+
+    def all_times_us(self) -> Dict[str, float]:
+        """Isolated times of every benchmark in the suite."""
+        return {name: self.time_us(name) for name in self._suite.names()}
+
+
+# ----------------------------------------------------------------------
+# Workload execution
+# ----------------------------------------------------------------------
+@dataclass
+class WorkloadResult:
+    """Outcome of running one workload under one policy/mechanism."""
+
+    spec: WorkloadSpec
+    policy: str
+    mechanism: str
+    #: Mean completed-iteration time per process name (``app#slot``).
+    process_times_us: Dict[str, float]
+    #: Application name per process name.
+    process_applications: Dict[str, str]
+    metrics: MultiprogramMetrics
+    #: Execution-engine statistics snapshot (preemption counts, etc.).
+    engine_stats: Dict[str, float] = field(default_factory=dict)
+    simulated_time_us: float = 0.0
+    events_processed: int = 0
+
+    @property
+    def high_priority_process(self) -> Optional[str]:
+        """Process name of the workload's high-priority process."""
+        if self.spec.high_priority_index is None:
+            return None
+        return self.spec.process_names()[self.spec.high_priority_index]
+
+    def high_priority_ntt(self) -> float:
+        """NTT of the high-priority process (Figure 5)."""
+        process = self.high_priority_process
+        if process is None:
+            raise ValueError("this workload has no high-priority process")
+        return self.metrics.ntt_of(process)
+
+
+class WorkloadRunner:
+    """Runs multiprogrammed workloads under a chosen policy and mechanism."""
+
+    def __init__(
+        self,
+        suite: Optional[ParboilSuite] = None,
+        *,
+        scale: Optional[WorkloadScale] = None,
+        config: Optional[SystemConfig] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ):
+        self.scale = scale if scale is not None else WorkloadScale.reduced()
+        self.suite = suite if suite is not None else ParboilSuite(self.scale)
+        base_config = config if config is not None else SystemConfig()
+        #: Fixed host/PCIe latencies are scaled together with the workload so
+        #: the compute/transfer balance matches the full-scale system.
+        self.config = self.scale.scale_config(base_config)
+        self.baseline = IsolatedBaseline(self.suite, config=self.config)
+        self._max_events = max_events
+
+    # ------------------------------------------------------------------
+    # Running one workload
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: WorkloadSpec,
+        *,
+        policy: str,
+        mechanism: str = "context_switch",
+        transfer_policy: Optional[TransferSchedulingPolicy] = None,
+        policy_options: Optional[Dict] = None,
+        min_iterations: Optional[int] = None,
+    ) -> WorkloadResult:
+        """Simulate ``spec`` under ``policy``/``mechanism`` and collect metrics.
+
+        ``transfer_policy`` defaults to NPQ for priority workloads (as in the
+        paper's Sec. 4.2/4.3 experiments) and FCFS otherwise (Sec. 4.4).
+        """
+        options = dict(policy_options or {})
+        if policy == "dss":
+            options.setdefault("process_count", spec.num_processes)
+        if transfer_policy is None:
+            transfer_policy = (
+                TransferSchedulingPolicy.PRIORITY
+                if spec.high_priority_index is not None
+                else TransferSchedulingPolicy.FCFS
+            )
+
+        system = GPUSystem(
+            self.config,
+            policy=policy,
+            mechanism=mechanism,
+            transfer_policy=transfer_policy,
+            policy_options=options or None,
+        )
+        process_names = spec.process_names()
+        for slot, (app, process_name) in enumerate(zip(spec.applications, process_names)):
+            priority = (
+                HIGH_PRIORITY if slot == spec.high_priority_index else NORMAL_PRIORITY
+            )
+            # Small start stagger avoids every process hitting the driver at
+            # the exact same instant, which no real system exhibits.
+            system.add_process(
+                process_name,
+                self.suite.trace(app),
+                priority=priority,
+                start_delay_us=0.1 * slot,
+            )
+
+        iterations = min_iterations if min_iterations is not None else self.scale.min_iterations
+        system.run(stop_after_min_iterations=iterations, max_events=self._max_events)
+
+        process_times = system.mean_iteration_times_us()
+        process_applications = dict(zip(process_names, spec.applications))
+        isolated = {
+            name: self.baseline.time_us(app) for name, app in process_applications.items()
+        }
+        metrics = MultiprogramMetrics.compute(process_times, isolated)
+        return WorkloadResult(
+            spec=spec,
+            policy=policy,
+            mechanism=mechanism,
+            process_times_us=process_times,
+            process_applications=process_applications,
+            metrics=metrics,
+            engine_stats=system.execution_engine.utilization_snapshot(),
+            simulated_time_us=system.simulator.now,
+            events_processed=system.simulator.events_processed,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def run_many(
+        self,
+        specs: Sequence[WorkloadSpec],
+        *,
+        policy: str,
+        mechanism: str = "context_switch",
+        **kwargs,
+    ) -> List[WorkloadResult]:
+        """Run a list of workloads under the same policy and mechanism."""
+        return [
+            self.run(spec, policy=policy, mechanism=mechanism, **kwargs) for spec in specs
+        ]

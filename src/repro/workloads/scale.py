@@ -1,0 +1,107 @@
+"""Workload scale presets.
+
+A pure-Python, thread-block-granularity simulation of the paper's full
+workload set (every Parboil application replayed at least three times in
+every random mix, for every policy and mechanism) would take hours.  The
+experiment harness therefore runs, by default, at a *reduced* scale that
+preserves the quantities the paper's conclusions depend on:
+
+* per-thread-block execution times (hence draining preemption latency),
+* per-thread-block register/shared-memory state (hence context-switch
+  latency),
+* the relative length of kernels and applications,
+* the interleaving of CPU, transfer and kernel phases.
+
+What changes is the *number* of thread blocks and repeated kernel launches
+per application (and proportionally the CPU/transfer time so the
+compute/transfer balance of each application is preserved).  Because every
+reported metric is a ratio over the same workload set, the shape of the
+results is preserved; EXPERIMENTS.md records the scale used for each run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.gpu.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class WorkloadScale:
+    """Scaling factors applied to the Parboil application models."""
+
+    #: Multiplier on every kernel's thread-block count (and, to keep the
+    #: application balanced, on its CPU-phase durations and transfer sizes).
+    tb_scale: float = 1.0
+    #: Multiplier on the number of repeated launches of each kernel.
+    launch_scale: float = 1.0
+    #: Minimum completed iterations of every process before a
+    #: multiprogrammed run stops (the paper uses 3).
+    min_iterations: int = 3
+    name: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.tb_scale <= 0 or self.tb_scale > 1:
+            raise ValueError("tb_scale must be in (0, 1]")
+        if self.launch_scale <= 0 or self.launch_scale > 1:
+            raise ValueError("launch_scale must be in (0, 1]")
+        if self.min_iterations < 1:
+            raise ValueError("min_iterations must be at least 1")
+
+    @property
+    def host_scale(self) -> float:
+        """Combined scaling applied to host-side time and transfer sizes."""
+        return self.tb_scale * self.launch_scale
+
+    def scale_config(self, config: SystemConfig) -> SystemConfig:
+        """Scale the fixed host/PCIe latencies consistently with the workload.
+
+        Per-command API latency and per-transfer PCIe setup latency are fixed
+        costs in the full-scale system.  When thread-block counts and launch
+        counts are scaled down, application run times shrink proportionally —
+        but these fixed latencies would not, so they would dominate and
+        distort the compute/transfer balance.  Scaling them with
+        :attr:`host_scale` keeps every application's phase mix the same as at
+        full scale.
+        """
+        factor = self.host_scale
+        if factor >= 1.0:
+            return config
+        cpu = dataclasses.replace(
+            config.cpu,
+            command_issue_latency_us=max(0.05, config.cpu.command_issue_latency_us * factor),
+        )
+        pcie = dataclasses.replace(
+            config.pcie,
+            transfer_setup_latency_us=max(0.1, config.pcie.transfer_setup_latency_us * factor),
+        )
+        return config.with_updates(cpu=cpu, pcie=pcie)
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def full(cls) -> "WorkloadScale":
+        """The paper's scale: all thread blocks, all launches, 3 iterations."""
+        return cls(tb_scale=1.0, launch_scale=1.0, min_iterations=3, name="full")
+
+    @classmethod
+    def reduced(cls) -> "WorkloadScale":
+        """Default experiment scale: ~1/8 of the thread blocks, 1/4 of the
+        repeated launches, 2 completed iterations per process."""
+        return cls(tb_scale=0.125, launch_scale=0.25, min_iterations=2, name="reduced")
+
+    @classmethod
+    def smoke(cls) -> "WorkloadScale":
+        """Tiny scale for unit tests and pytest-benchmark runs."""
+        return cls(tb_scale=0.03125, launch_scale=0.1, min_iterations=1, name="smoke")
+
+    @classmethod
+    def by_name(cls, name: str) -> "WorkloadScale":
+        """Look up a preset by name (``full``, ``reduced`` or ``smoke``)."""
+        presets = {"full": cls.full, "reduced": cls.reduced, "smoke": cls.smoke}
+        try:
+            return presets[name.lower()]()
+        except KeyError as exc:
+            raise ValueError(f"unknown workload scale {name!r}") from exc

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.config import GPUConfig, SystemConfig
+from repro.gpu.resources import OccupancyCalculator
+from repro.sim.engine import Simulator
+from repro.trace.generator import TraceGenerator
+from repro.workloads.multiprogram import WorkloadRunner
+from repro.workloads.parboil import ParboilSuite
+from repro.workloads.scale import WorkloadScale
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    """A fresh discrete-event simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def gpu_config() -> GPUConfig:
+    """The default GK110-like GPU configuration (Table 2)."""
+    return GPUConfig()
+
+
+@pytest.fixture
+def system_config() -> SystemConfig:
+    """The default full system configuration."""
+    return SystemConfig()
+
+
+@pytest.fixture
+def occupancy(gpu_config: GPUConfig) -> OccupancyCalculator:
+    """An occupancy calculator over the default GPU configuration."""
+    return OccupancyCalculator(gpu_config)
+
+
+@pytest.fixture
+def trace_generator() -> TraceGenerator:
+    """A synthetic trace generator."""
+    return TraceGenerator()
+
+
+@pytest.fixture(scope="session")
+def smoke_scale() -> WorkloadScale:
+    """The smallest workload scale (used by integration tests)."""
+    return WorkloadScale.smoke()
+
+
+@pytest.fixture(scope="session")
+def smoke_suite(smoke_scale: WorkloadScale) -> ParboilSuite:
+    """The Parboil suite at smoke scale (session-cached: traces are reused)."""
+    return ParboilSuite(smoke_scale)
+
+
+@pytest.fixture(scope="session")
+def smoke_runner(smoke_suite: ParboilSuite, smoke_scale: WorkloadScale) -> WorkloadRunner:
+    """A workload runner at smoke scale with session-cached isolated baselines."""
+    return WorkloadRunner(suite=smoke_suite, scale=smoke_scale)

@@ -1,0 +1,76 @@
+"""Tests for the per-context command buffers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework.command_buffer import CommandBufferSet
+from repro.gpu.command_queue import KernelCommand
+from repro.gpu.kernel import KernelLaunch, KernelSpec
+from repro.gpu.resources import ResourceUsage
+
+
+def make_command(context_id: int, launch_id: int = 1, enqueue_time: float = 0.0) -> KernelCommand:
+    spec = KernelSpec(
+        name="k", benchmark="b", num_thread_blocks=1, avg_tb_time_us=1.0,
+        usage=ResourceUsage(registers_per_block=32, shared_memory_per_block=0),
+    )
+    launch = KernelLaunch(spec=spec, launch_id=launch_id, context_id=context_id)
+    command = KernelCommand(context_id=context_id, stream_id=0, launch=launch)
+    command.enqueue_time_us = enqueue_time
+    return command
+
+
+def test_offer_and_take():
+    buffers = CommandBufferSet()
+    command = make_command(1)
+    assert buffers.offer(command)
+    assert buffers.peek(1) is command
+    assert buffers.take(1) is command
+    assert buffers.peek(1) is None
+
+
+def test_one_command_per_context():
+    buffers = CommandBufferSet()
+    assert buffers.offer(make_command(1))
+    assert not buffers.offer(make_command(1))
+    assert buffers.rejected == 1
+    # Another context has its own buffer.
+    assert buffers.offer(make_command(2))
+    assert buffers.occupancy() == 2
+
+
+def test_take_empty_buffer_rejected():
+    buffers = CommandBufferSet()
+    with pytest.raises(KeyError):
+        buffers.take(1)
+
+
+def test_pending_sorted_by_arrival():
+    buffers = CommandBufferSet()
+    late = make_command(1, enqueue_time=10.0)
+    early = make_command(2, enqueue_time=2.0)
+    buffers.offer(late)
+    buffers.offer(early)
+    assert buffers.pending() == [early, late]
+    assert buffers.has_pending
+
+
+def test_context_limit():
+    buffers = CommandBufferSet(max_contexts=1)
+    assert buffers.offer(make_command(1))
+    buffers.take(1)
+    assert not buffers.offer(make_command(2))
+
+
+def test_invalid_context_limit():
+    with pytest.raises(ValueError):
+        CommandBufferSet(max_contexts=0)
+
+
+def test_freed_buffer_accepts_next_command():
+    buffers = CommandBufferSet()
+    buffers.offer(make_command(1, launch_id=1))
+    buffers.take(1)
+    assert buffers.offer(make_command(1, launch_id=2))
+    assert buffers.total_buffered == 2

@@ -1,0 +1,47 @@
+"""Tests for the repro-experiments command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, make_config
+
+
+def test_parser_knows_every_experiment():
+    parser = build_parser()
+    args = parser.parse_args(["table1", "table2"])
+    assert args.experiments == ["table1", "table2"]
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "figure2", "figure5", "figure6", "figure7", "figure8"
+    }
+
+
+def test_make_config_applies_overrides():
+    parser = build_parser()
+    args = parser.parse_args(["table1", "--scale", "smoke", "--processes", "2", "4",
+                              "--workloads", "3", "--seed", "7"])
+    config = make_config(args)
+    assert config.scale == "smoke"
+    assert config.process_counts == (2, 4)
+    assert config.workloads_per_count == 3
+    assert config.seed == 7
+
+
+def test_main_runs_table_experiments(capsys, tmp_path):
+    output = tmp_path / "results.txt"
+    exit_code = main(["table1", "table2", "--scale", "smoke", "--output", str(output)])
+    assert exit_code == 0
+    printed = capsys.readouterr().out
+    assert "Table 1" in printed
+    assert "Table 2" in printed
+    assert output.read_text().count("Table") >= 2
+
+
+def test_main_without_experiments_shows_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_main_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["figure99"])

@@ -1,0 +1,74 @@
+"""Tests for the Table 1, Table 2 and Figure 2 experiment runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1, table2, figure2
+from repro.experiments.base import ExperimentConfig, ExperimentResult, geometric_mean
+
+
+class TestExperimentConfig:
+    def test_presets(self):
+        assert ExperimentConfig.smoke().scale == "smoke"
+        assert ExperimentConfig.reduced().scale == "reduced"
+        assert ExperimentConfig.full().scale == "full"
+
+    def test_workload_scale_resolution(self):
+        assert ExperimentConfig.smoke().workload_scale().name == "smoke"
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_result_formatting(self):
+        result = ExperimentResult(
+            name="X", description="d", headers=["a", "b"], rows=[[1, 2]], notes=["note"]
+        )
+        text = result.format()
+        assert "X: d" in text
+        assert "note" in text
+        assert result.row_dicts() == [{"a": 1, "b": 2}]
+
+
+class TestTable1:
+    def test_reproduces_published_derived_columns(self):
+        result = table1.run()
+        assert len(result.rows) == 24
+        assert result.series["max_abs_resource_error_pct"] <= 0.02
+        assert result.series["max_abs_save_time_error_us"] <= 0.01
+
+    def test_occupancy_column_matches_paper(self):
+        for row in table1.run().row_dicts():
+            assert row["TBs/SM"] >= 1
+        lbm = next(r for r in table1.run().row_dicts() if r["Benchmark"] == "lbm")
+        assert lbm["TBs/SM"] == 15
+        assert lbm["Save time us (paper)"] == pytest.approx(16.2)
+
+
+class TestTable2:
+    def test_contains_all_parameters(self):
+        rows = {row[0]: row[1] for row in table2.run().rows}
+        assert rows["GPU cores (SMs)"] == "13"
+        assert rows["Memory bandwidth"] == "208 GB/s"
+        assert rows["PCIe lanes"] == "32"
+        assert rows["Thread blocks per SM"] == "16"
+        assert len(rows) == 13
+
+
+class TestFigure2:
+    def test_scheduler_ordering(self):
+        result = figure2.run()
+        latencies = result.series["latencies_us"]
+        fcfs = latencies["FCFS (current GPUs, Fig. 2a)"]
+        npq = latencies["Nonpreemptive priority (Fig. 2b)"]
+        ppq_cs = latencies["Preemptive priority, context switch (Fig. 2c)"]
+        ppq_drain = latencies["Preemptive priority, draining (Fig. 2c)"]
+        # The paper's qualitative ordering: preemption beats non-preemptive
+        # priority, which beats FCFS.
+        assert ppq_cs < npq < fcfs
+        assert ppq_drain <= npq
+        assert ppq_cs <= ppq_drain

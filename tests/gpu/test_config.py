@@ -1,0 +1,116 @@
+"""Tests for the hardware configuration objects (paper Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.config import CPUConfig, GPUConfig, PCIeConfig, SchedulerConfig, SystemConfig
+
+
+class TestGPUConfig:
+    def test_table2_defaults(self, gpu_config):
+        assert gpu_config.num_sms == 13
+        assert gpu_config.clock_mhz == pytest.approx(706.0)
+        assert gpu_config.registers_per_sm == 65536
+        assert gpu_config.max_thread_blocks_per_sm == 16
+        assert gpu_config.max_threads_per_sm == 2048
+        assert gpu_config.memory_bandwidth_gbps == pytest.approx(208.0)
+        assert gpu_config.shared_memory_configs == (16 * 1024, 32 * 1024, 48 * 1024)
+
+    def test_register_file_is_256kb(self, gpu_config):
+        assert gpu_config.register_file_bytes == 256 * 1024
+
+    def test_on_chip_state_matches_paper_claim(self, gpu_config):
+        # "up to 256KB of register file and 48KB of on-chip scratch-pad memory"
+        assert gpu_config.on_chip_state_bytes == (256 + 48) * 1024
+
+    def test_per_sm_bandwidth_share(self, gpu_config):
+        total = gpu_config.memory_bandwidth_bytes_per_us
+        assert total == pytest.approx(208e9 / 1e6)
+        assert gpu_config.per_sm_bandwidth_bytes_per_us == pytest.approx(total / 13)
+
+    def test_shared_memory_config_selection(self, gpu_config):
+        assert gpu_config.shared_memory_config_for(0) == 16 * 1024
+        assert gpu_config.shared_memory_config_for(16 * 1024) == 16 * 1024
+        assert gpu_config.shared_memory_config_for(16 * 1024 + 1) == 32 * 1024
+        assert gpu_config.shared_memory_config_for(24576) == 32 * 1024
+        assert gpu_config.shared_memory_config_for(48 * 1024) == 48 * 1024
+
+    def test_shared_memory_over_maximum_rejected(self, gpu_config):
+        with pytest.raises(ValueError):
+            gpu_config.shared_memory_config_for(48 * 1024 + 1)
+
+    def test_negative_shared_memory_rejected(self, gpu_config):
+        with pytest.raises(ValueError):
+            gpu_config.shared_memory_config_for(-1)
+
+
+class TestPCIeConfig:
+    def test_table2_defaults(self):
+        pcie = PCIeConfig()
+        assert pcie.clock_mhz == pytest.approx(500.0)
+        assert pcie.lanes == 32
+        assert pcie.burst_bytes == 4 * 1024
+
+    def test_bandwidth_positive(self):
+        assert PCIeConfig().bandwidth_bytes_per_us > 0
+
+    def test_transfer_time_is_burst_granular(self):
+        pcie = PCIeConfig()
+        one_burst = pcie.transfer_time_us(1)
+        assert one_burst == pytest.approx(pcie.transfer_time_us(pcie.burst_bytes))
+        assert pcie.transfer_time_us(pcie.burst_bytes + 1) == pytest.approx(2 * one_burst)
+
+    def test_zero_transfer_takes_no_time(self):
+        assert PCIeConfig().transfer_time_us(0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeConfig().transfer_time_us(-1)
+
+    def test_transfer_time_scales_linearly_with_bursts(self):
+        pcie = PCIeConfig()
+        t10 = pcie.transfer_time_us(10 * pcie.burst_bytes)
+        t20 = pcie.transfer_time_us(20 * pcie.burst_bytes)
+        assert t20 == pytest.approx(2 * t10)
+
+
+class TestCPUConfig:
+    def test_hardware_threads(self):
+        cpu = CPUConfig()
+        assert cpu.hardware_threads == 8
+
+    def test_custom_threading(self):
+        assert CPUConfig(num_cores=2, threads_per_core=1).hardware_threads == 2
+
+
+class TestSchedulerConfig:
+    def test_default_active_kernel_limit_is_num_sms(self):
+        assert SchedulerConfig().active_kernel_limit(13) == 13
+
+    def test_explicit_limit(self):
+        assert SchedulerConfig(max_active_kernels=4).active_kernel_limit(13) == 4
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_active_kernels=0).active_kernel_limit(13)
+
+
+class TestSystemConfig:
+    def test_describe_covers_table2_rows(self, system_config):
+        description = system_config.describe()
+        assert description["GPU cores (SMs)"] == "13"
+        assert description["Memory bandwidth"] == "208 GB/s"
+        assert description["Registers per SM"] == "65536"
+        assert description["Shared memory per SM"] == "16KB / 32KB / 48KB"
+        assert description["CPU clock"] == "2.8 GHz"
+        assert description["PCIe lanes"] == "32"
+
+    def test_with_updates_replaces_fields(self, system_config):
+        updated = system_config.with_updates(seed=99)
+        assert updated.seed == 99
+        assert system_config.seed == 2014
+
+    def test_config_is_immutable(self, system_config):
+        with pytest.raises(Exception):
+            system_config.seed = 1  # type: ignore[misc]

@@ -1,0 +1,73 @@
+"""Tests for GPU contexts and the context table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.context import ContextTable, GPUContext
+
+
+class TestGPUContext:
+    def test_register_kernel_is_idempotent(self):
+        context = GPUContext(context_id=1, process_name="p")
+        handle = context.register_kernel("k")
+        assert context.register_kernel("k") == handle
+        assert context.register_kernel("other") != handle
+
+
+class TestContextTable:
+    def test_create_assigns_unique_ids_and_page_tables(self):
+        table = ContextTable()
+        a = table.create("proc-a")
+        b = table.create("proc-b")
+        assert a.context_id != b.context_id
+        assert a.page_table_base != b.page_table_base
+        assert len(table) == 2
+
+    def test_priority_and_tokens_stored(self):
+        table = ContextTable()
+        context = table.create("p", priority=5, tokens=3)
+        assert context.priority == 5
+        assert context.tokens == 3
+
+    def test_lookup(self):
+        table = ContextTable()
+        context = table.create("p")
+        assert table.get(context.context_id) is context
+        assert table.find(context.context_id) is context
+        assert context.context_id in table
+        assert table.find(999) is None
+        with pytest.raises(KeyError):
+            table.get(999)
+
+    def test_by_process(self):
+        table = ContextTable()
+        context = table.create("wanted")
+        table.create("other")
+        assert table.by_process("wanted") is context
+        assert table.by_process("missing") is None
+
+    def test_destroy(self):
+        table = ContextTable()
+        context = table.create("p")
+        table.destroy(context.context_id)
+        assert table.find(context.context_id) is None
+        table.destroy(context.context_id)  # idempotent
+
+    def test_capacity_enforced(self):
+        table = ContextTable(capacity=2)
+        table.create("a")
+        table.create("b")
+        with pytest.raises(RuntimeError):
+            table.create("c")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ContextTable(capacity=0)
+
+    def test_iteration_yields_all_contexts(self):
+        table = ContextTable()
+        names = {"a", "b", "c"}
+        for name in names:
+            table.create(name)
+        assert {ctx.process_name for ctx in table} == names

@@ -1,0 +1,136 @@
+"""Tests for the Streaming Multiprocessor model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.sm import SMState, StreamingMultiprocessor
+from repro.gpu.thread_block import ThreadBlock, ThreadBlockState
+
+
+@pytest.fixture
+def sm(simulator, gpu_config):
+    return StreamingMultiprocessor(0, gpu_config, simulator)
+
+
+def configure(sm, max_blocks=4):
+    sm.configure(
+        ksr_index=0,
+        context_id=1,
+        page_table_base=0x1000,
+        max_resident_blocks=max_blocks,
+        shared_memory_config=16 * 1024,
+    )
+
+
+def make_block(index: int, time_us: float = 10.0) -> ThreadBlock:
+    return ThreadBlock(kernel_launch_id=1, block_index=index, execution_time_us=time_us)
+
+
+class TestConfiguration:
+    def test_initial_state_is_idle(self, sm):
+        assert sm.state is SMState.IDLE
+        assert sm.is_empty
+        assert sm.ksr_index is None
+
+    def test_configure_loads_context_registers(self, sm):
+        configure(sm)
+        assert sm.state is SMState.RUNNING
+        assert sm.context_id_register == 1
+        assert sm.page_table_register == 0x1000
+        assert sm.max_resident_blocks == 4
+        assert sm.setups == 1
+
+    def test_release_clears_registers(self, sm):
+        configure(sm)
+        sm.release()
+        assert sm.state is SMState.IDLE
+        assert sm.context_id_register is None
+        assert sm.ksr_index is None
+
+    def test_configure_with_resident_blocks_rejected(self, sm, simulator):
+        configure(sm)
+        sm.start_block(make_block(0), extra_latency_us=0.0, on_complete=lambda b: None)
+        with pytest.raises(RuntimeError):
+            configure(sm)
+
+    def test_release_with_resident_blocks_rejected(self, sm):
+        configure(sm)
+        sm.start_block(make_block(0), extra_latency_us=0.0, on_complete=lambda b: None)
+        with pytest.raises(RuntimeError):
+            sm.release()
+
+
+class TestExecution:
+    def test_block_completes_after_its_execution_time(self, sm, simulator):
+        configure(sm)
+        done = []
+        sm.start_block(make_block(0, 10.0), extra_latency_us=1.0, on_complete=done.append)
+        simulator.run()
+        assert len(done) == 1
+        assert done[0].state is ThreadBlockState.COMPLETED
+        assert simulator.now == pytest.approx(11.0)
+        assert sm.is_empty
+        assert sm.blocks_executed == 1
+
+    def test_capacity_enforced(self, sm):
+        configure(sm, max_blocks=2)
+        sm.start_block(make_block(0), extra_latency_us=0.0, on_complete=lambda b: None)
+        sm.start_block(make_block(1), extra_latency_us=0.0, on_complete=lambda b: None)
+        assert not sm.has_free_slots
+        with pytest.raises(RuntimeError):
+            sm.start_block(make_block(2), extra_latency_us=0.0, on_complete=lambda b: None)
+
+    def test_duplicate_block_rejected(self, sm):
+        configure(sm)
+        block = make_block(0)
+        sm.start_block(block, extra_latency_us=0.0, on_complete=lambda b: None)
+        duplicate = make_block(0)
+        with pytest.raises(RuntimeError):
+            sm.start_block(duplicate, extra_latency_us=0.0, on_complete=lambda b: None)
+
+    def test_concurrent_blocks_finish_independently(self, sm, simulator):
+        configure(sm)
+        done = []
+        sm.start_block(make_block(0, 5.0), extra_latency_us=0.0, on_complete=done.append)
+        sm.start_block(make_block(1, 10.0), extra_latency_us=0.0, on_complete=done.append)
+        simulator.run(until=6.0)
+        assert len(done) == 1
+        assert sm.resident_blocks == 1
+        simulator.run()
+        assert len(done) == 2
+
+
+class TestEviction:
+    def test_evict_all_cancels_completions_and_preempts(self, sm, simulator):
+        configure(sm)
+        done = []
+        sm.start_block(make_block(0, 10.0), extra_latency_us=0.0, on_complete=done.append)
+        sm.start_block(make_block(1, 20.0), extra_latency_us=0.0, on_complete=done.append)
+        simulator.run(until=4.0)
+        evicted = sm.evict_all()
+        simulator.run()
+        assert done == []
+        assert len(evicted) == 2
+        assert all(b.state is ThreadBlockState.PREEMPTED for b in evicted)
+        assert {round(b.remaining_time_us) for b in evicted} == {6, 16}
+        assert sm.is_empty
+        assert sm.blocks_preempted == 2
+        assert sm.preemptions == 1
+
+    def test_evict_empty_sm_returns_nothing(self, sm):
+        configure(sm)
+        assert sm.evict_all() == []
+        assert sm.preemptions == 0
+
+
+class TestUtilization:
+    def test_busy_fraction_reflects_resident_time(self, sm, simulator):
+        configure(sm)
+        sm.start_block(make_block(0, 10.0), extra_latency_us=0.0, on_complete=lambda b: None)
+        simulator.run()
+        simulator.schedule(10.0, lambda: None)
+        simulator.run()
+        # Busy 10 us out of 20 us total.
+        assert sm.busy_fraction() == pytest.approx(0.5, abs=0.01)

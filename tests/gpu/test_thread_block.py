@@ -1,0 +1,100 @@
+"""Tests for the thread-block state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.thread_block import ThreadBlock, ThreadBlockState
+
+
+def make_block(time_us: float = 10.0) -> ThreadBlock:
+    return ThreadBlock(kernel_launch_id=1, block_index=0, execution_time_us=time_us)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        block = make_block(10.0)
+        assert block.state is ThreadBlockState.PENDING
+        assert block.remaining_time_us == 10.0
+        assert not block.is_resident
+        assert not block.was_preempted
+
+    def test_start_and_complete(self):
+        block = make_block()
+        block.start(sm_id=3, now=5.0)
+        assert block.state is ThreadBlockState.RUNNING
+        assert block.sm_id == 3
+        assert block.first_start_time_us == 5.0
+        block.complete(now=15.0)
+        assert block.state is ThreadBlockState.COMPLETED
+        assert block.completion_time_us == 15.0
+        assert block.remaining_time_us == 0.0
+        assert block.sm_id is None
+
+    def test_preempt_halfway_records_remaining_time(self):
+        block = make_block(10.0)
+        block.start(sm_id=0, now=0.0)
+        block.preempt(now=4.0)
+        assert block.state is ThreadBlockState.PREEMPTED
+        assert block.remaining_time_us == pytest.approx(6.0)
+        assert block.preemption_count == 1
+        assert block.was_preempted
+        assert block.sm_id is None
+
+    def test_resume_after_preemption_only_needs_remaining_time(self):
+        block = make_block(10.0)
+        block.start(sm_id=0, now=0.0)
+        block.preempt(now=7.0)
+        block.start(sm_id=5, now=20.0)
+        assert block.remaining_time_us == pytest.approx(3.0)
+        assert block.first_start_time_us == 0.0
+        assert block.last_start_time_us == 20.0
+        block.complete(now=23.0)
+        assert block.state is ThreadBlockState.COMPLETED
+
+    def test_multiple_preemptions_accumulate(self):
+        block = make_block(10.0)
+        block.start(0, 0.0)
+        block.preempt(3.0)
+        block.start(1, 10.0)
+        block.preempt(12.0)
+        assert block.preemption_count == 2
+        assert block.remaining_time_us == pytest.approx(5.0)
+
+    def test_preempt_past_remaining_clamps_to_zero(self):
+        block = make_block(5.0)
+        block.start(0, 0.0)
+        block.preempt(100.0)
+        assert block.remaining_time_us == 0.0
+
+
+class TestInvalidTransitions:
+    def test_cannot_start_running_block(self):
+        block = make_block()
+        block.start(0, 0.0)
+        with pytest.raises(ValueError):
+            block.start(1, 1.0)
+
+    def test_cannot_complete_pending_block(self):
+        with pytest.raises(ValueError):
+            make_block().complete(1.0)
+
+    def test_cannot_preempt_pending_block(self):
+        with pytest.raises(ValueError):
+            make_block().preempt(1.0)
+
+    def test_cannot_complete_twice(self):
+        block = make_block()
+        block.start(0, 0.0)
+        block.complete(10.0)
+        with pytest.raises(ValueError):
+            block.complete(11.0)
+
+    def test_non_positive_execution_time_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadBlock(kernel_launch_id=1, block_index=0, execution_time_us=0.0)
+
+
+def test_key_identifies_block():
+    block = ThreadBlock(kernel_launch_id=7, block_index=3, execution_time_us=1.0)
+    assert block.key == (7, 3)

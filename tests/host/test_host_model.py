@@ -1,0 +1,191 @@
+"""Tests for the host-side model: CPU, streams, driver and processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.command_queue import TransferDirection
+from repro.host.cpu import HostCPU
+from repro.host.stream import Stream
+from repro.gpu.config import CPUConfig
+from repro.system import GPUSystem
+from repro.trace.schema import (
+    ApplicationTrace,
+    CpuPhaseOp,
+    DeviceSyncOp,
+    FreeOp,
+    KernelLaunchOp,
+    MallocOp,
+    MemcpyOp,
+    StreamSyncOp,
+)
+from repro.trace.generator import TraceGenerator
+
+
+class TestHostCPU:
+    def test_phase_completes_after_duration(self, simulator):
+        cpu = HostCPU(CPUConfig(), simulator)
+        done = []
+        cpu.run_phase(25.0, lambda: done.append(simulator.now))
+        simulator.run()
+        assert done == [25.0]
+
+    def test_phases_queue_when_threads_exhausted(self, simulator):
+        cpu = HostCPU(CPUConfig(num_cores=1, threads_per_core=1), simulator)
+        done = []
+        cpu.run_phase(10.0, lambda: done.append(("a", simulator.now)))
+        cpu.run_phase(10.0, lambda: done.append(("b", simulator.now)))
+        assert cpu.queued_phases == 1
+        simulator.run()
+        assert done == [("a", 10.0), ("b", 20.0)]
+
+    def test_eight_processes_do_not_contend(self, simulator):
+        cpu = HostCPU(CPUConfig(), simulator)
+        done = []
+        for _ in range(8):
+            cpu.run_phase(10.0, lambda: done.append(simulator.now))
+        simulator.run()
+        assert done == [10.0] * 8
+
+    def test_negative_duration_rejected(self, simulator):
+        cpu = HostCPU(CPUConfig(), simulator)
+        with pytest.raises(ValueError):
+            cpu.run_phase(-1.0, lambda: None)
+
+
+class TestStream:
+    def test_idle_tracking(self):
+        from repro.gpu.command_queue import TransferCommand
+
+        stream = Stream(0, hw_queue_id=3)
+        assert stream.idle
+        command = TransferCommand(context_id=1, stream_id=0, size_bytes=16,
+                                  direction=TransferDirection.HOST_TO_DEVICE)
+        stream.track(command)
+        assert not stream.idle
+        assert stream.outstanding == 1
+        command.complete(5.0)
+        assert stream.idle
+
+    def test_when_idle_fires_on_last_command(self):
+        from repro.gpu.command_queue import TransferCommand
+
+        stream = Stream(0, hw_queue_id=0)
+        first = TransferCommand(context_id=1, stream_id=0, size_bytes=16,
+                                direction=TransferDirection.HOST_TO_DEVICE)
+        second = TransferCommand(context_id=1, stream_id=0, size_bytes=16,
+                                 direction=TransferDirection.HOST_TO_DEVICE)
+        stream.track(first)
+        stream.track(second)
+        fired = []
+        assert stream.when_idle(lambda now: fired.append(now)) is False
+        first.complete(1.0)
+        assert fired == []
+        second.complete(2.0)
+        assert fired == [2.0]
+
+    def test_when_idle_on_empty_stream(self):
+        assert Stream(0, 0).when_idle(lambda now: None) is True
+
+
+class TestDeviceDriver:
+    def test_contexts_and_streams(self):
+        system = GPUSystem()
+        context = system.driver.create_context("proc", priority=3, tokens=2)
+        assert context.priority == 3
+        assert system.context_table.by_process("proc") is context
+        stream = system.driver.stream(context.context_id, 0)
+        assert stream.stream_id == 0
+        other = system.driver.stream(context.context_id, 1)
+        assert other.hw_queue_id != stream.hw_queue_id
+
+    def test_launch_builds_command_with_context_priority(self):
+        system = GPUSystem()
+        context = system.driver.create_context("proc", priority=7)
+        spec = next(iter(TraceGenerator().uniform_kernel("demo").kernels.values()))
+        command = system.driver.launch_kernel(context, spec)
+        assert command.priority == 7
+        assert command.launch.context_id == context.context_id
+        assert command.launch.jitter is not None
+
+    def test_memcpy_enqueues_transfer(self):
+        system = GPUSystem()
+        context = system.driver.create_context("proc")
+        command = system.driver.memcpy(context, 4096, TransferDirection.HOST_TO_DEVICE)
+        system.simulator.run()
+        assert command.is_complete
+
+    def test_destroy_context_releases_memory(self):
+        system = GPUSystem()
+        context = system.driver.create_context("proc")
+        system.driver.malloc(context.context_id, 1 << 20)
+        assert system.dram.allocated_bytes > 0
+        system.driver.destroy_context(context.context_id)
+        assert system.dram.allocated_bytes == 0
+
+
+class TestHostProcess:
+    def _trace(self) -> ApplicationTrace:
+        generator = TraceGenerator()
+        return generator.uniform_kernel("app", num_blocks=26, tb_time_us=5.0, launches=2)
+
+    def test_single_iteration_completes(self):
+        system = GPUSystem()
+        process = system.add_process("app", self._trace(), max_iterations=1)
+        system.run(max_events=1_000_000)
+        assert process.completed_iterations == 1
+        record = process.iterations[0]
+        assert record.duration_us > 0
+        assert record.end_time_us > record.start_time_us
+
+    def test_replay_until_stopped(self):
+        system = GPUSystem()
+        process = system.add_process("app", self._trace())
+        system.run(stop_after_min_iterations=3, max_events=2_000_000)
+        assert process.completed_iterations >= 3
+
+    def test_memory_released_between_iterations(self):
+        system = GPUSystem()
+        system.add_process("app", self._trace())
+        system.run(stop_after_min_iterations=2, max_events=2_000_000)
+        # After the run every iteration's allocations were freed; at most the
+        # current (incomplete) iteration may still hold memory.
+        trace_bytes = self._trace().total_transfer_bytes
+        assert system.dram.allocated_bytes <= 2 * trace_bytes
+
+    def test_start_twice_rejected(self):
+        system = GPUSystem()
+        process = system.add_process("app", self._trace(), max_iterations=1)
+        process.start()
+        with pytest.raises(RuntimeError):
+            process.start()
+
+    def test_mean_iteration_time_requires_completion(self):
+        system = GPUSystem()
+        process = system.add_process("app", self._trace(), max_iterations=1)
+        with pytest.raises(ValueError):
+            process.mean_iteration_time_us()
+
+    def test_all_operation_kinds_replayed(self):
+        generator = TraceGenerator()
+        base = generator.uniform_kernel("app", num_blocks=13, tb_time_us=2.0)
+        spec = next(iter(base.kernels.values()))
+        operations = [
+            CpuPhaseOp(5.0),
+            MallocOp(8192, label="a"),
+            MallocOp(4096, label="b"),
+            MemcpyOp(8192, TransferDirection.HOST_TO_DEVICE, synchronous=True),
+            KernelLaunchOp(spec.name),
+            StreamSyncOp(0),
+            MemcpyOp(4096, TransferDirection.DEVICE_TO_HOST, synchronous=False),
+            DeviceSyncOp(),
+            FreeOp("a"),
+            FreeOp("b"),
+            CpuPhaseOp(1.0),
+        ]
+        trace = ApplicationTrace(name="full", kernels={spec.name: spec}, operations=operations)
+        system = GPUSystem()
+        process = system.add_process("full", trace, max_iterations=2)
+        system.run(max_events=1_000_000)
+        assert process.completed_iterations == 2
+        assert system.dram.allocated_bytes == 0

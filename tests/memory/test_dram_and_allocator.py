@@ -1,0 +1,137 @@
+"""Tests for the DRAM model, address spaces and the GPU memory allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.memory.address_space import PAGE_SIZE, AddressSpace, PageTable
+from repro.memory.allocator import AllocationError, GPUMemoryAllocator
+from repro.memory.dram import DRAMModel
+
+
+@pytest.fixture
+def dram(gpu_config) -> DRAMModel:
+    return DRAMModel(gpu_config)
+
+
+@pytest.fixture
+def allocator(dram) -> GPUMemoryAllocator:
+    return GPUMemoryAllocator(dram)
+
+
+class TestDRAM:
+    def test_capacity_accounting(self, dram):
+        dram.reserve(1024)
+        dram.reserve(2048)
+        assert dram.allocated_bytes == 3072
+        dram.release(1024)
+        assert dram.allocated_bytes == 2048
+        assert dram.free_bytes == dram.capacity_bytes - 2048
+
+    def test_oversubscription_rejected(self, dram):
+        with pytest.raises(MemoryError):
+            dram.reserve(dram.capacity_bytes + 1)
+
+    def test_negative_sizes_rejected(self, dram):
+        with pytest.raises(ValueError):
+            dram.reserve(-1)
+        with pytest.raises(ValueError):
+            dram.release(-1)
+
+    def test_per_sm_transfer_time_matches_paper_model(self, dram, gpu_config):
+        # lbm's fully occupied SM: 15 blocks x 4320 regs x 4 B = 259200 B
+        # over 208/13 GB/s = 16.2 us (Table 1).
+        assert dram.per_sm_transfer_time_us(259200) == pytest.approx(16.2, abs=0.01)
+
+    def test_full_bandwidth_faster_than_share(self, dram):
+        assert dram.transfer_time_us(1 << 20) < dram.per_sm_transfer_time_us(1 << 20)
+
+    def test_invalid_bandwidth_share(self, dram):
+        with pytest.raises(ValueError):
+            dram.transfer_time_us(100, bandwidth_share=0.0)
+
+
+class TestPageTable:
+    def test_map_translate_unmap(self):
+        table = PageTable(context_id=1)
+        table.map(0x10, 0x99)
+        address = 0x10 * PAGE_SIZE + 123
+        assert table.translate(address) == 0x99 * PAGE_SIZE + 123
+        assert table.is_mapped(address)
+        table.unmap(0x10)
+        assert not table.is_mapped(address)
+
+    def test_double_map_rejected(self):
+        table = PageTable(1)
+        table.map(1, 2)
+        with pytest.raises(ValueError):
+            table.map(1, 3)
+
+    def test_unmapped_translation_faults(self):
+        with pytest.raises(KeyError):
+            PageTable(1).translate(0x5000)
+
+    def test_unmap_absent_page_rejected(self):
+        with pytest.raises(KeyError):
+            PageTable(1).unmap(7)
+
+
+class TestAddressSpace:
+    def test_allocation_maps_all_pages(self):
+        space = AddressSpace(1)
+        allocation = space.record_allocation(3 * PAGE_SIZE + 1, first_frame=10)
+        assert allocation.num_pages == 4
+        assert space.allocated_bytes == 3 * PAGE_SIZE + 1
+        for offset in range(0, allocation.num_pages * PAGE_SIZE, PAGE_SIZE):
+            assert space.page_table.is_mapped(allocation.virtual_address + offset)
+
+    def test_allocations_do_not_overlap(self):
+        space = AddressSpace(1)
+        first = space.record_allocation(PAGE_SIZE, first_frame=0)
+        second = space.record_allocation(PAGE_SIZE, first_frame=1)
+        assert second.virtual_address >= first.virtual_address + PAGE_SIZE
+
+    def test_remove_allocation_unmaps(self):
+        space = AddressSpace(1)
+        allocation = space.record_allocation(PAGE_SIZE, first_frame=0)
+        space.remove_allocation(allocation.virtual_address)
+        assert not space.page_table.is_mapped(allocation.virtual_address)
+        with pytest.raises(KeyError):
+            space.remove_allocation(allocation.virtual_address)
+
+
+class TestAllocator:
+    def test_malloc_and_free(self, allocator, dram):
+        allocation = allocator.malloc(context_id=1, size_bytes=10_000)
+        assert dram.allocated_bytes == allocation.num_pages * PAGE_SIZE
+        assert allocator.owns(1, allocation.virtual_address)
+        allocator.free(1, allocation.virtual_address)
+        assert dram.allocated_bytes == 0
+        assert not allocator.owns(1, allocation.virtual_address)
+
+    def test_isolation_between_contexts(self, allocator):
+        a = allocator.malloc(context_id=1, size_bytes=PAGE_SIZE)
+        b = allocator.malloc(context_id=2, size_bytes=PAGE_SIZE)
+        # Different contexts never share physical frames, even when their
+        # (per-context) virtual addresses coincide.
+        assert a.first_frame != b.first_frame
+        assert allocator.frame_owner(a.first_frame) == 1
+        assert allocator.frame_owner(b.first_frame) == 2
+        physical_a = allocator.address_space(1).page_table.translate(a.virtual_address)
+        physical_b = allocator.address_space(2).page_table.translate(b.virtual_address)
+        assert physical_a != physical_b
+
+    def test_out_of_memory_raises_allocation_error(self, allocator, gpu_config):
+        with pytest.raises(AllocationError):
+            allocator.malloc(1, gpu_config.dram_capacity_bytes + PAGE_SIZE)
+
+    def test_destroy_address_space_releases_everything(self, allocator, dram):
+        for _ in range(3):
+            allocator.malloc(context_id=7, size_bytes=PAGE_SIZE * 2)
+        allocator.destroy_address_space(7)
+        assert dram.allocated_bytes == 0
+
+    def test_invalid_sizes_rejected(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.malloc(1, 0)

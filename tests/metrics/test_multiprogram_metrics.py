@@ -1,0 +1,99 @@
+"""Tests for the multiprogram metrics (NTT, ANTT, STP, fairness)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.multiprogram import (
+    MultiprogramMetrics,
+    average_normalized_turnaround_time,
+    fairness,
+    normalized_progress,
+    normalized_turnaround_time,
+    system_throughput,
+)
+
+
+class TestScalarMetrics:
+    def test_ntt_is_slowdown(self):
+        assert normalized_turnaround_time(200.0, 100.0) == pytest.approx(2.0)
+        assert normalized_progress(200.0, 100.0) == pytest.approx(0.5)
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_turnaround_time(1.0, 0.0)
+        with pytest.raises(ValueError):
+            normalized_turnaround_time(0.0, 1.0)
+
+    def test_antt_is_arithmetic_mean(self):
+        multi = {"a": 200.0, "b": 400.0}
+        isolated = {"a": 100.0, "b": 100.0}
+        assert average_normalized_turnaround_time(multi, isolated) == pytest.approx(3.0)
+
+    def test_stp_sums_progress(self):
+        multi = {"a": 200.0, "b": 400.0}
+        isolated = {"a": 100.0, "b": 100.0}
+        assert system_throughput(multi, isolated) == pytest.approx(0.5 + 0.25)
+
+    def test_fairness_perfectly_fair(self):
+        multi = {"a": 300.0, "b": 600.0}
+        isolated = {"a": 100.0, "b": 200.0}
+        assert fairness(multi, isolated) == pytest.approx(1.0)
+
+    def test_fairness_detects_starvation_asymmetry(self):
+        multi = {"a": 100.0, "b": 1000.0}
+        isolated = {"a": 100.0, "b": 100.0}
+        assert fairness(multi, isolated) == pytest.approx(0.1)
+
+    def test_missing_isolated_time_rejected(self):
+        with pytest.raises(KeyError):
+            fairness({"a": 1.0}, {})
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            system_throughput({}, {})
+
+
+class TestMultiprogramMetrics:
+    def test_compute_bundles_everything(self):
+        multi = {"a": 150.0, "b": 300.0}
+        isolated = {"a": 100.0, "b": 100.0}
+        metrics = MultiprogramMetrics.compute(multi, isolated)
+        assert metrics.ntt_of("a") == pytest.approx(1.5)
+        assert metrics.ntt_of("b") == pytest.approx(3.0)
+        assert metrics.antt == pytest.approx(2.25)
+        assert metrics.stp == pytest.approx(1.0)
+        assert metrics.fairness == pytest.approx(0.5)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["p0", "p1", "p2", "p3", "p4"]),
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e6),
+                st.floats(min_value=1.0, max_value=1e6),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_metric_invariants(self, data):
+        multi = {name: max(multi_t, iso_t) for name, (multi_t, iso_t) in data.items()}
+        isolated = {name: iso_t for name, (_, iso_t) in data.items()}
+        metrics = MultiprogramMetrics.compute(multi, isolated)
+        # With multiprogram time >= isolated time: every NTT >= 1, the ANTT is
+        # >= 1, STP is between 0 and the number of processes, and fairness is
+        # in [0, 1].
+        assert all(ntt >= 1.0 for ntt in metrics.ntt.values())
+        assert metrics.antt >= 1.0
+        assert 0.0 < metrics.stp <= len(multi) + 1e-9
+        assert 0.0 < metrics.fairness <= 1.0 + 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    def test_uniform_slowdown_is_perfectly_fair(self, slowdown):
+        isolated = {"a": 100.0, "b": 250.0, "c": 700.0}
+        multi = {k: v * slowdown for k, v in isolated.items()}
+        metrics = MultiprogramMetrics.compute(multi, isolated)
+        assert metrics.fairness == pytest.approx(1.0)
+        assert metrics.antt == pytest.approx(slowdown)
+        assert metrics.stp == pytest.approx(3.0 / slowdown)

@@ -1,0 +1,162 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order(simulator):
+    fired = []
+    simulator.schedule(5.0, lambda: fired.append("b"))
+    simulator.schedule(1.0, lambda: fired.append("a"))
+    simulator.schedule(10.0, lambda: fired.append("c"))
+    simulator.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_now_advances_to_event_time(simulator):
+    seen = []
+    simulator.schedule(3.5, lambda: seen.append(simulator.now))
+    simulator.run()
+    assert seen == [3.5]
+    assert simulator.now == 3.5
+
+
+def test_same_time_events_fire_in_scheduling_order(simulator):
+    fired = []
+    for index in range(5):
+        simulator.schedule(1.0, lambda i=index: fired.append(i))
+    simulator.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_ties_before_scheduling_order(simulator):
+    fired = []
+    simulator.schedule(1.0, lambda: fired.append("late"), priority=5)
+    simulator.schedule(1.0, lambda: fired.append("early"), priority=0)
+    simulator.run()
+    assert fired == ["early", "late"]
+
+
+def test_zero_delay_event_runs_after_current_event(simulator):
+    order = []
+
+    def outer():
+        order.append("outer")
+        simulator.schedule(0.0, lambda: order.append("inner"))
+
+    simulator.schedule(1.0, outer)
+    simulator.run()
+    assert order == ["outer", "inner"]
+
+
+def test_negative_delay_rejected(simulator):
+    with pytest.raises(SimulationError):
+        simulator.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected(simulator):
+    simulator.schedule(1.0, lambda: None)
+    simulator.run()
+    with pytest.raises(SimulationError):
+        simulator.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(simulator):
+    fired = []
+    handle = simulator.schedule(1.0, lambda: fired.append("x"))
+    simulator.cancel(handle)
+    simulator.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent(simulator):
+    handle = simulator.schedule(1.0, lambda: None)
+    simulator.cancel(handle)
+    simulator.cancel(handle)
+    assert simulator.events_cancelled == 1
+
+
+def test_run_until_leaves_future_events_pending(simulator):
+    fired = []
+    simulator.schedule(1.0, lambda: fired.append(1))
+    simulator.schedule(10.0, lambda: fired.append(2))
+    simulator.run(until=5.0)
+    assert fired == [1]
+    assert simulator.now == 5.0
+    assert simulator.pending_events == 1
+    simulator.run()
+    assert fired == [1, 2]
+
+
+def test_run_until_advances_clock_even_with_empty_queue(simulator):
+    simulator.run(until=42.0)
+    assert simulator.now == 42.0
+
+
+def test_max_events_guard_raises(simulator):
+    def reschedule():
+        simulator.schedule(1.0, reschedule)
+
+    simulator.schedule(1.0, reschedule)
+    with pytest.raises(SimulationError):
+        simulator.run(max_events=100)
+
+
+def test_stop_halts_the_run(simulator):
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        simulator.stop()
+
+    simulator.schedule(1.0, stopper)
+    simulator.schedule(2.0, lambda: fired.append("after"))
+    simulator.run()
+    assert fired == ["stop"]
+    assert simulator.pending_events == 1
+
+
+def test_step_returns_false_on_empty_queue(simulator):
+    assert simulator.step() is False
+
+
+def test_event_counters(simulator):
+    simulator.schedule(1.0, lambda: None)
+    simulator.schedule(2.0, lambda: None)
+    handle = simulator.schedule(3.0, lambda: None)
+    simulator.cancel(handle)
+    simulator.run()
+    assert simulator.events_scheduled == 3
+    assert simulator.events_processed == 2
+    assert simulator.events_cancelled == 1
+
+
+def test_peek_time_skips_cancelled_events(simulator):
+    first = simulator.schedule(1.0, lambda: None)
+    simulator.schedule(2.0, lambda: None)
+    simulator.cancel(first)
+    assert simulator.peek_time() == 2.0
+
+
+def test_pending_labels(simulator):
+    simulator.schedule(2.0, lambda: None, label="second")
+    simulator.schedule(1.0, lambda: None, label="first")
+    assert list(simulator.pending_labels()) == ["first", "second"]
+
+
+def test_events_scheduled_during_run_are_processed(simulator):
+    fired = []
+
+    def chain(depth: int):
+        fired.append(depth)
+        if depth < 5:
+            simulator.schedule(1.0, lambda: chain(depth + 1))
+
+    simulator.schedule(0.0, lambda: chain(0))
+    simulator.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert simulator.now == 5.0

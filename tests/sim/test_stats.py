@@ -1,0 +1,145 @@
+"""Unit tests for the statistics primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    Counter,
+    RunningStats,
+    StatRegistry,
+    TimeWeightedAverage,
+    UtilizationTracker,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0.0
+
+    def test_add_default_increment(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add()
+        assert counter.value == 2.0
+
+    def test_add_amount_and_reset(self):
+        counter = Counter("bytes", unit="B")
+        counter.add(100.0)
+        counter.add(20.0)
+        assert counter.value == 120.0
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestRunningStats:
+    def test_empty_stats(self):
+        stats = RunningStats("x")
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_known_values(self):
+        stats = RunningStats("x")
+        for value in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            stats.add(value)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stddev == pytest.approx(2.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_matches_direct_computation(self, values):
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert stats.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        assert stats.variance == pytest.approx(variance, rel=1e-6, abs=1e-3)
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+
+class TestTimeWeightedAverage:
+    def test_constant_signal(self):
+        twa = TimeWeightedAverage(0.0, initial_value=3.0)
+        twa.finalize(10.0)
+        assert twa.average == pytest.approx(3.0)
+
+    def test_step_signal(self):
+        twa = TimeWeightedAverage(0.0, initial_value=0.0)
+        twa.update(5.0, 10.0)   # 0 for 5 us
+        twa.update(10.0, 0.0)   # 10 for 5 us
+        assert twa.average == pytest.approx(5.0)
+        assert twa.current == 0.0
+
+    def test_time_going_backwards_rejected(self):
+        twa = TimeWeightedAverage(5.0)
+        with pytest.raises(ValueError):
+            twa.update(4.0, 1.0)
+
+    def test_no_elapsed_time(self):
+        twa = TimeWeightedAverage(0.0, initial_value=7.0)
+        assert twa.average == 0.0
+
+
+class TestUtilizationTracker:
+    def test_fully_busy(self):
+        tracker = UtilizationTracker(0.0)
+        tracker.set_busy(0.0)
+        assert tracker.utilization(10.0) == pytest.approx(1.0)
+
+    def test_half_busy(self):
+        tracker = UtilizationTracker(0.0)
+        tracker.set_busy(0.0)
+        tracker.set_idle(5.0)
+        assert tracker.utilization(10.0) == pytest.approx(0.5)
+        assert tracker.busy_time(10.0) == pytest.approx(5.0)
+
+    def test_idempotent_transitions(self):
+        tracker = UtilizationTracker(0.0)
+        tracker.set_busy(1.0)
+        tracker.set_busy(2.0)
+        tracker.set_idle(3.0)
+        tracker.set_idle(4.0)
+        assert tracker.busy_time(10.0) == pytest.approx(2.0)
+
+    def test_zero_window(self):
+        tracker = UtilizationTracker(5.0)
+        assert tracker.utilization(5.0) == 0.0
+
+    def test_utilization_capped_at_one(self):
+        tracker = UtilizationTracker(1.0)
+        tracker.set_busy(0.0)
+        assert tracker.utilization(2.0) <= 1.0
+
+
+class TestStatRegistry:
+    def test_counter_reuse(self):
+        registry = StatRegistry()
+        registry.counter("a").add(2)
+        registry.counter("a").add(3)
+        assert registry.counter("a").value == 5
+
+    def test_snapshot_contains_counters_and_stats(self):
+        registry = StatRegistry()
+        registry.counter("events").add(7)
+        registry.stats("latency").add(2.0)
+        registry.stats("latency").add(4.0)
+        snap = registry.snapshot()
+        assert snap["events"] == 7
+        assert snap["latency.mean"] == pytest.approx(3.0)
+        assert snap["latency.count"] == 2
+        assert snap["latency.min"] == 2.0
+        assert snap["latency.max"] == 4.0
+
+    def test_empty_stats_not_reported_with_min_max(self):
+        registry = StatRegistry()
+        registry.stats("empty")
+        snap = registry.snapshot()
+        assert "empty.min" not in snap
+        assert snap["empty.count"] == 0

@@ -1,0 +1,39 @@
+"""Tests for the plain-text table formatter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+def test_basic_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "long-name" in lines[-1]
+    # All header columns appear above the separator line.
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_title_rendering():
+    text = format_table(["x"], [[1]], title="My Table")
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    assert lines[1] == "=" * len("My Table")
+
+
+def test_float_formatting():
+    text = format_table(["v"], [[3.14159]])
+    assert "3.14" in text
+    assert "3.14159" not in text
+
+
+def test_row_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_empty_rows_renders_header_only():
+    text = format_table(["a", "b"], [])
+    assert len(text.splitlines()) == 2

@@ -1,0 +1,104 @@
+"""Tests for multiprogrammed workload generation and the workload runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.multiprogram import (
+    WorkloadSpec,
+    generate_priority_workloads,
+    generate_random_workloads,
+)
+from repro.workloads.parboil import BENCHMARK_NAMES
+
+
+class TestWorkloadSpec:
+    def test_process_names_are_unique(self):
+        spec = WorkloadSpec(applications=("lbm", "lbm", "spmv"))
+        names = spec.process_names()
+        assert len(set(names)) == 3
+        assert names[0].startswith("lbm")
+
+    def test_high_priority_accessors(self):
+        spec = WorkloadSpec(applications=("lbm", "spmv"), high_priority_index=1)
+        assert spec.high_priority_application == "spmv"
+        assert "spmv*" in spec.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(applications=())
+        with pytest.raises(ValueError):
+            WorkloadSpec(applications=("lbm",), high_priority_index=3)
+
+
+class TestGeneration:
+    def test_random_workloads_deterministic_for_same_seed(self):
+        first = generate_random_workloads(4, 5, seed=7)
+        second = generate_random_workloads(4, 5, seed=7)
+        assert [w.applications for w in first] == [w.applications for w in second]
+        different = generate_random_workloads(4, 5, seed=8)
+        assert [w.applications for w in first] != [w.applications for w in different]
+
+    def test_random_workloads_have_requested_size(self):
+        for count in (2, 4, 6, 8):
+            workloads = generate_random_workloads(count, 3)
+            assert len(workloads) == 3
+            assert all(w.num_processes == count for w in workloads)
+            assert all(w.high_priority_index is None for w in workloads)
+
+    def test_random_workloads_draw_valid_benchmarks(self):
+        for workload in generate_random_workloads(8, 5):
+            assert set(workload.applications) <= set(BENCHMARK_NAMES)
+
+    def test_priority_workloads_cover_every_benchmark_equally(self):
+        workloads = generate_priority_workloads(4, workloads_per_benchmark=2)
+        high_priority = [w.high_priority_application for w in workloads]
+        assert len(workloads) == 2 * len(BENCHMARK_NAMES)
+        for benchmark in BENCHMARK_NAMES:
+            assert high_priority.count(benchmark) == 2
+        assert all(w.high_priority_index == 0 for w in workloads)
+
+    def test_priority_workloads_require_two_processes(self):
+        with pytest.raises(ValueError):
+            generate_priority_workloads(1)
+
+    def test_benchmark_subset_respected(self):
+        subset = ("lbm", "spmv", "sgemm")
+        for workload in generate_random_workloads(4, 4, benchmarks=subset):
+            assert set(workload.applications) <= set(subset)
+
+
+class TestWorkloadRunner:
+    def test_runner_produces_metrics_for_every_process(self, smoke_runner):
+        spec = WorkloadSpec(applications=("spmv", "sgemm"), workload_id=1)
+        result = smoke_runner.run(spec, policy="fcfs")
+        assert set(result.process_times_us) == set(spec.process_names())
+        assert set(result.metrics.ntt) == set(spec.process_names())
+        assert result.metrics.stp > 0
+        assert 0 <= result.metrics.fairness <= 1
+        assert result.simulated_time_us > 0
+        assert result.events_processed > 0
+
+    def test_high_priority_ntt_requires_priority_workload(self, smoke_runner):
+        spec = WorkloadSpec(applications=("spmv", "sgemm"))
+        result = smoke_runner.run(spec, policy="fcfs")
+        with pytest.raises(ValueError):
+            result.high_priority_ntt()
+
+    def test_dss_gets_process_count_automatically(self, smoke_runner):
+        spec = WorkloadSpec(applications=("spmv", "sgemm", "histo"))
+        result = smoke_runner.run(spec, policy="dss", mechanism="draining")
+        assert result.policy == "dss"
+        assert result.mechanism == "draining"
+        assert result.metrics.antt >= 1.0 or result.metrics.antt > 0
+
+    def test_same_workload_is_reproducible(self, smoke_runner):
+        spec = WorkloadSpec(applications=("sgemm", "histo"), high_priority_index=0)
+        first = smoke_runner.run(spec, policy="ppq")
+        second = smoke_runner.run(spec, policy="ppq")
+        assert first.process_times_us == pytest.approx(second.process_times_us)
+
+    def test_isolated_baseline_cached(self, smoke_runner):
+        first = smoke_runner.baseline.time_us("spmv")
+        second = smoke_runner.baseline.time_us("spmv")
+        assert first == second

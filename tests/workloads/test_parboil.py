@@ -1,0 +1,150 @@
+"""Tests for the Parboil benchmark models (Table 1 encoding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.parboil import (
+    BENCHMARK_NAMES,
+    CLASS1,
+    CLASS2,
+    DATASETS,
+    ParboilSuite,
+    TABLE1_RECORDS,
+)
+from repro.workloads.scale import WorkloadScale
+
+
+class TestTable1Data:
+    def test_all_ten_benchmarks_present(self):
+        assert len(BENCHMARK_NAMES) == 10
+        assert set(BENCHMARK_NAMES) == set(CLASS1) == set(CLASS2) == set(DATASETS)
+
+    def test_twenty_four_kernel_rows(self):
+        assert len(TABLE1_RECORDS) == 24
+        assert len({r.qualified_name for r in TABLE1_RECORDS}) == 24
+
+    def test_every_record_belongs_to_a_benchmark(self):
+        for record in TABLE1_RECORDS:
+            assert record.benchmark in BENCHMARK_NAMES
+
+    def test_known_rows(self):
+        lbm = next(r for r in TABLE1_RECORDS if r.benchmark == "lbm")
+        assert lbm.num_thread_blocks == 18000
+        assert lbm.regs_per_tb == 4320
+        assert lbm.tbs_per_sm == 15
+        gridding = next(r for r in TABLE1_RECORDS if r.kernel == "griddingGPU")
+        assert gridding.kernel_time_us == pytest.approx(208398.47)
+        assert gridding.num_thread_blocks == 65536
+
+    def test_class_groupings_match_paper(self):
+        assert set(n for n in BENCHMARK_NAMES if CLASS1[n] == "LONG") == {
+            "tpacf", "sad", "mri-gridding"
+        }
+        assert set(n for n in BENCHMARK_NAMES if CLASS1[n] == "SHORT") == {"histo", "spmv"}
+        assert set(n for n in BENCHMARK_NAMES if CLASS2[n] == "LONG") == {
+            "lbm", "sad", "stencil", "mri-gridding"
+        }
+        assert set(n for n in BENCHMARK_NAMES if CLASS2[n] == "SHORT") == {
+            "spmv", "mri-q", "sgemm"
+        }
+
+    @pytest.mark.parametrize("record", TABLE1_RECORDS, ids=lambda r: r.qualified_name)
+    def test_threads_per_block_consistent_with_occupancy(self, record):
+        threads = record.threads_per_block()
+        assert 32 <= threads <= 1024
+        assert threads * record.tbs_per_sm <= 2048
+
+    @pytest.mark.parametrize("record", TABLE1_RECORDS, ids=lambda r: r.qualified_name)
+    def test_kernel_spec_round_trip(self, record):
+        spec = record.to_kernel_spec()
+        assert spec.num_thread_blocks == record.num_thread_blocks
+        assert spec.avg_tb_time_us == record.tb_time_us
+        assert spec.usage.registers_per_block == record.regs_per_tb
+        assert spec.max_blocks_per_sm == record.tbs_per_sm
+
+    def test_kernel_spec_scaling(self):
+        record = next(r for r in TABLE1_RECORDS if r.kernel == "mbsadcalc")
+        spec = record.to_kernel_spec(tb_scale=0.01)
+        assert spec.num_thread_blocks == round(128640 * 0.01)
+        assert spec.avg_tb_time_us == record.tb_time_us
+
+
+class TestSuite:
+    def test_suite_builds_valid_traces_for_every_benchmark(self, smoke_suite):
+        for name in smoke_suite.names():
+            trace = smoke_suite.trace(name)
+            trace.validate()
+            assert trace.kernel_launch_count >= len(smoke_suite.application(name).records)
+            assert trace.total_transfer_bytes > 0
+            assert trace.application_class == CLASS2[name]
+            assert trace.kernel_class == CLASS1[name]
+
+    def test_trace_is_cached(self, smoke_suite):
+        assert smoke_suite.trace("lbm") is smoke_suite.trace("lbm")
+
+    def test_unknown_benchmark_rejected(self, smoke_suite):
+        with pytest.raises(KeyError):
+            smoke_suite.application("bfs")
+
+    def test_launch_counts_follow_table1_at_full_scale(self):
+        suite = ParboilSuite(WorkloadScale.full())
+        trace = suite.trace("histo")
+        assert trace.kernel_launch_count == 80  # 4 kernels x 20 launches
+        assert suite.trace("lbm").kernel_launch_count == 100
+
+    def test_launch_scaling_keeps_at_least_one_launch_per_kernel(self, smoke_suite):
+        trace = smoke_suite.trace("mri-gridding")
+        launched = {op.kernel_name for op in trace.operations if hasattr(op, "kernel_name")}
+        assert launched == set(trace.kernels)
+
+    def test_class_filters(self, smoke_suite):
+        assert smoke_suite.by_kernel_class("short") == ["histo", "spmv"]
+        assert set(smoke_suite.by_application_class("LONG")) == {
+            "lbm", "sad", "stencil", "mri-gridding"
+        }
+
+    def test_records_filter(self, smoke_suite):
+        assert len(smoke_suite.records("mri-gridding")) == 9
+        assert len(smoke_suite.records()) == 24
+
+
+class TestScalePresets:
+    def test_presets(self):
+        assert WorkloadScale.full().tb_scale == 1.0
+        assert WorkloadScale.reduced().tb_scale < 1.0
+        assert WorkloadScale.smoke().tb_scale < WorkloadScale.reduced().tb_scale
+        assert WorkloadScale.by_name("smoke").name == "smoke"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadScale.by_name("huge")
+
+    def test_invalid_scale_values_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadScale(tb_scale=0.0)
+        with pytest.raises(ValueError):
+            WorkloadScale(launch_scale=2.0)
+        with pytest.raises(ValueError):
+            WorkloadScale(min_iterations=0)
+
+    def test_scale_config_shrinks_fixed_latencies(self, system_config):
+        scaled = WorkloadScale.smoke().scale_config(system_config)
+        assert scaled.cpu.command_issue_latency_us < system_config.cpu.command_issue_latency_us
+        assert (
+            scaled.pcie.transfer_setup_latency_us
+            < system_config.pcie.transfer_setup_latency_us
+        )
+        # GPU-side latencies (preemption-relevant) are untouched.
+        assert scaled.gpu == system_config.gpu
+
+    def test_full_scale_config_unchanged(self, system_config):
+        assert WorkloadScale.full().scale_config(system_config) is system_config
+
+
+def test_relative_application_lengths_follow_class2(smoke_runner):
+    """LONG applications must take longer in isolation than SHORT ones."""
+    isolated = smoke_runner.baseline.all_times_us()
+    longest_short = max(isolated[n] for n in BENCHMARK_NAMES if CLASS2[n] == "SHORT")
+    shortest_long = min(isolated[n] for n in BENCHMARK_NAMES if CLASS2[n] == "LONG")
+    assert shortest_long > longest_short
