@@ -35,6 +35,13 @@ def pytest_addoption(parser):
         default=3,
         help="random workloads per process count for figure 7/8 benchmarks",
     )
+    parser.addoption(
+        "--repro-jobs",
+        action="store",
+        type=int,
+        default=1,
+        help="parallel simulation worker processes (0 = all CPUs, default: 1)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -42,13 +49,14 @@ def experiment_config(request) -> ExperimentConfig:
     """The experiment configuration used by every benchmark."""
     scale = request.config.getoption("--repro-scale")
     workloads = request.config.getoption("--repro-workloads")
+    jobs = request.config.getoption("--repro-jobs")
     if scale == "smoke":
         base = ExperimentConfig.smoke()
     elif scale == "reduced":
         base = ExperimentConfig.reduced()
     else:
         base = ExperimentConfig.full()
-    return dataclasses.replace(base, workloads_per_count=workloads)
+    return dataclasses.replace(base, workloads_per_count=workloads, jobs=jobs)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -12,6 +12,7 @@ Run with:  python examples/reproduce_figures.py
 from __future__ import annotations
 
 import dataclasses
+import os
 
 from repro.experiments import dss_data, figure5, figure7, priority_data, table1, table2
 from repro.experiments.base import ExperimentConfig
@@ -23,6 +24,9 @@ def main() -> None:
         process_counts=(2, 4),
         workloads_per_count=3,
         benchmarks=("lbm", "spmv", "sgemm", "tpacf", "histo", "sad"),
+        # The (workload x scheme) grid runs through a BatchRunner; use every
+        # core (identical results to a serial run, just faster).
+        jobs=os.cpu_count() or 1,
     )
 
     print(table1.run(config).format())

@@ -10,17 +10,35 @@ Typical entry points:
 
 * :class:`repro.GPUSystem` — build and run a simulated system with a chosen
   scheduling policy and preemption mechanism.
+* :class:`repro.ScenarioSpec` / :class:`repro.SchemeSpec` — declarative,
+  JSON-round-trippable simulation specifications;
+  ``GPUSystem.from_scenario`` is the canonical constructor.
+* :class:`repro.BatchRunner` — run lists of scenarios serially or across a
+  process pool, returning structured :class:`repro.RunRecord` values.
+* :mod:`repro.registry` — pluggable component registries; register new
+  policies/mechanisms with :func:`repro.register_policy` /
+  :func:`repro.register_mechanism` without touching the core.
 * :mod:`repro.workloads` — the Parboil benchmark models of the paper's
   Table 1 and the multiprogrammed-workload generator.
 * :mod:`repro.metrics` — the multiprogram metrics (NTT, ANTT, STP, fairness).
 * :mod:`repro.experiments` — runners that regenerate every table and figure
-  of the paper's evaluation.
+  of the paper's evaluation (CLI: ``repro-experiments``).
 """
 
 from repro.gpu.config import GPUConfig, PCIeConfig, SchedulerConfig, SystemConfig
+from repro.registry import (
+    MECHANISMS,
+    POLICIES,
+    TRANSFER_POLICIES,
+    register_mechanism,
+    register_policy,
+    register_transfer_policy,
+)
+from repro.scenario import ScenarioSpec, SchemeSpec
 from repro.system import GPUSystem, run_isolated
+from repro.runner import BatchRunner, RunRecord
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GPUSystem",
@@ -29,5 +47,15 @@ __all__ = [
     "GPUConfig",
     "PCIeConfig",
     "SchedulerConfig",
+    "ScenarioSpec",
+    "SchemeSpec",
+    "BatchRunner",
+    "RunRecord",
+    "POLICIES",
+    "MECHANISMS",
+    "TRANSFER_POLICIES",
+    "register_policy",
+    "register_mechanism",
+    "register_transfer_policy",
     "__version__",
 ]

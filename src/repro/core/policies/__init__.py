@@ -22,26 +22,16 @@ from repro.core.policies.priority import NonPreemptivePriorityPolicy, Preemptive
 
 
 def make_policy(name: str, **kwargs) -> SchedulingPolicy:
-    """Create a scheduling policy by name.
+    """Create a scheduling policy by name (thin delegate to the registry).
 
-    Recognised names (case-insensitive): ``fcfs``, ``npq``, ``ppq``,
-    ``ppq_shared``, ``dss``.  Keyword arguments are forwarded to the policy
-    constructor.
+    Recognised names (case-insensitive) are whatever is registered in
+    :data:`repro.registry.POLICIES` — the built-ins are ``fcfs``, ``npq``,
+    ``ppq``, ``ppq_shared`` and ``dss``.  Keyword arguments are forwarded to
+    the policy constructor.
     """
-    normalized = name.strip().lower().replace("-", "_").replace(" ", "_")
-    if normalized == "fcfs":
-        return FCFSPolicy(**kwargs)
-    if normalized in ("npq", "nonpreemptive_priority"):
-        return NonPreemptivePriorityPolicy(**kwargs)
-    if normalized in ("ppq", "preemptive_priority", "ppq_exclusive"):
-        kwargs.setdefault("exclusive_access", True)
-        return PreemptivePriorityPolicy(**kwargs)
-    if normalized in ("ppq_shared", "preemptive_priority_shared"):
-        kwargs["exclusive_access"] = False
-        return PreemptivePriorityPolicy(**kwargs)
-    if normalized in ("dss", "dynamic_spatial_sharing"):
-        return DynamicSpatialSharingPolicy(**kwargs)
-    raise ValueError(f"unknown scheduling policy: {name!r}")
+    from repro.registry import POLICIES
+
+    return POLICIES.create(name, **kwargs)
 
 
 __all__ = [

@@ -27,8 +27,10 @@ from typing import Dict, Optional
 from repro.core.framework.tables import KernelStatusEntry
 from repro.core.policies.base import SchedulingPolicy
 from repro.gpu.command_queue import KernelCommand
+from repro.registry import register_policy
 
 
+@register_policy("dss", "dynamic_spatial_sharing")
 class DynamicSpatialSharingPolicy(SchedulingPolicy):
     """Token-based dynamic spatial partitioning of SMs across processes."""
 

@@ -18,8 +18,10 @@ from typing import Optional
 from repro.core.framework.tables import KernelStatusEntry
 from repro.core.policies.base import SchedulingPolicy
 from repro.gpu.command_queue import KernelCommand
+from repro.registry import register_policy
 
 
+@register_policy("fcfs", "first_come_first_serve")
 class FCFSPolicy(SchedulingPolicy):
     """First-come first-serve, one context at a time."""
 

@@ -26,8 +26,10 @@ from repro.core.framework.tables import KernelStatusEntry
 from repro.core.policies.base import SchedulingPolicy
 from repro.gpu.command_queue import KernelCommand
 from repro.gpu.sm import SMState
+from repro.registry import register_policy
 
 
+@register_policy("npq", "nonpreemptive_priority")
 class NonPreemptivePriorityPolicy(SchedulingPolicy):
     """Priority queues without preemption (NPQ)."""
 
@@ -100,6 +102,12 @@ class NonPreemptivePriorityPolicy(SchedulingPolicy):
             self.stats.counter("sm_assignments").add()
 
 
+@register_policy(
+    "ppq",
+    "preemptive_priority",
+    "ppq_exclusive",
+    defaults={"exclusive_access": True},
+)
 class PreemptivePriorityPolicy(NonPreemptivePriorityPolicy):
     """Priority queues with preemption (PPQ)."""
 
@@ -164,3 +172,13 @@ class PreemptivePriorityPolicy(NonPreemptivePriorityPolicy):
         # Preempt the lowest-priority, most recently scheduled kernels first.
         victims.sort()
         return [sm_id for _, _, sm_id in victims]
+
+
+# The shared-access variant (Figure 6b) is the same class with back-filling
+# of free SMs enabled; ``exclusive_access`` is forced off for this name.
+register_policy(
+    "ppq_shared",
+    "preemptive_priority_shared",
+    overrides={"exclusive_access": False},
+    description="Priority queues with preemption, shared access (back-filling)",
+)(PreemptivePriorityPolicy)

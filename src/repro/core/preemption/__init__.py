@@ -22,13 +22,14 @@ from repro.core.preemption.draining import DrainingMechanism
 
 
 def make_mechanism(name: str) -> PreemptionMechanism:
-    """Create a preemption mechanism by name (``"context_switch"`` or ``"draining"``)."""
-    normalized = name.strip().lower().replace("-", "_").replace(" ", "_")
-    if normalized in ("context_switch", "cs", "switch"):
-        return ContextSwitchMechanism()
-    if normalized in ("draining", "drain", "sm_draining"):
-        return DrainingMechanism()
-    raise ValueError(f"unknown preemption mechanism: {name!r}")
+    """Create a preemption mechanism by name (thin delegate to the registry).
+
+    The built-ins are ``"context_switch"`` and ``"draining"``; anything
+    registered in :data:`repro.registry.MECHANISMS` works.
+    """
+    from repro.registry import MECHANISMS
+
+    return MECHANISMS.create(name)
 
 
 __all__ = [

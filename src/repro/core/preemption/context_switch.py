@@ -25,8 +25,10 @@ from typing import List
 from repro.core.preemption.base import PreemptionMechanism
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.gpu.thread_block import ThreadBlock
+from repro.registry import register_mechanism
 
 
+@register_mechanism("context_switch", "cs", "switch")
 class ContextSwitchMechanism(PreemptionMechanism):
     """Preempt by saving and later restoring thread-block contexts."""
 

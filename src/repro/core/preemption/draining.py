@@ -18,8 +18,10 @@ from __future__ import annotations
 
 from repro.core.preemption.base import PreemptionMechanism
 from repro.gpu.sm import StreamingMultiprocessor
+from repro.registry import register_mechanism
 
 
+@register_mechanism("draining", "drain", "sm_draining")
 class DrainingMechanism(PreemptionMechanism):
     """Preempt by stopping issue and waiting for resident blocks to finish."""
 

@@ -32,6 +32,8 @@ class ExperimentConfig:
     seed: int = 2014
     #: Optional subset of benchmarks (None = all ten).
     benchmarks: Optional[Tuple[str, ...]] = None
+    #: Parallel simulation worker processes (1 = serial, 0 = all CPUs).
+    jobs: int = 1
 
     def workload_scale(self) -> WorkloadScale:
         """The resolved workload scale preset."""
@@ -40,6 +42,12 @@ class ExperimentConfig:
     def make_runner(self, config: Optional[SystemConfig] = None) -> WorkloadRunner:
         """Create a workload runner at this experiment's scale."""
         return WorkloadRunner(scale=self.workload_scale(), config=config)
+
+    def make_batch_runner(self) -> "BatchRunner":
+        """Create a batch runner honouring this configuration's ``jobs``."""
+        from repro.runner import BatchRunner  # local: keeps import cheap
+
+        return BatchRunner(jobs=self.jobs)
 
     @classmethod
     def smoke(cls) -> "ExperimentConfig":
@@ -87,6 +95,30 @@ class ExperimentResult:
     def row_dicts(self) -> List[Dict[str, object]]:
         """Rows as dictionaries keyed by header (for tests)."""
         return [dict(zip(self.headers, row)) for row in self.rows]
+
+    def to_dict(self, *, include_series: bool = False) -> Dict[str, object]:
+        """JSON-serialisable form (used by the CLI's ``--json`` output)."""
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "description": self.description,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+        if include_series:
+            payload["series"] = _jsonable(self.series)
+        return payload
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment series data to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
 
 
 def geometric_mean(values: Sequence[float]) -> float:

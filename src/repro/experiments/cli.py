@@ -6,9 +6,17 @@ Run everything at the default reduced scale and print the tables::
 
     repro-experiments --all
 
-Run a single experiment at smoke scale (fast)::
+Run a single experiment at smoke scale (fast), using 4 worker processes::
 
-    repro-experiments --scale smoke figure5
+    repro-experiments --scale smoke --jobs 4 figure5
+
+List the available experiments and registered components::
+
+    repro-experiments --list
+
+Emit machine-readable JSON instead of tables::
+
+    repro-experiments figure5 --scale smoke --json
 
 Write the results to a file (appending one section per experiment)::
 
@@ -18,6 +26,8 @@ Write the results to a file (appending one section per experiment)::
 from __future__ import annotations
 
 import argparse
+import difflib
+import json
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -25,6 +35,7 @@ from typing import Callable, Dict, List, Optional
 from repro.experiments import dss_data, priority_data
 from repro.experiments import figure2, figure5, figure6, figure7, figure8, table1, table2
 from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.registry import MECHANISMS, POLICIES, TRANSFER_POLICIES
 
 #: Experiment name -> runner.  Runners that share simulation data accept it
 #: through keyword arguments; the CLI wires that up in :func:`run_selected`.
@@ -37,6 +48,15 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "figure7": figure7.run,
     "figure8": figure8.run,
 }
+
+
+def experiment_descriptions() -> Dict[str, str]:
+    """Experiment name -> one-line description (the module docstring)."""
+    descriptions = {}
+    for name, runner in EXPERIMENTS.items():
+        doc = sys.modules[runner.__module__].__doc__ or ""
+        descriptions[name] = doc.strip().splitlines()[0].rstrip(".") if doc else ""
+    return descriptions
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list experiments and registered policies/mechanisms, then exit",
+    )
+    parser.add_argument(
         "--scale",
         default="reduced",
         choices=["full", "reduced", "smoke"],
@@ -69,24 +94,46 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workloads", type=int, default=None, help="random workloads per process count"
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="parallel simulation worker processes (0 = all CPUs, default: 1)",
+    )
     parser.add_argument("--seed", type=int, default=2014, help="workload generation seed")
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of tables"
+    )
     parser.add_argument("--output", default=None, help="write results to this file as well")
     return parser
 
 
 def make_config(args: argparse.Namespace) -> ExperimentConfig:
-    """Translate parsed CLI arguments into an experiment configuration."""
+    """Translate parsed CLI arguments into an experiment configuration.
+
+    Raises :class:`ValueError` on invalid values; explicit-but-falsy values
+    (e.g. an empty ``--processes``) are rejected rather than silently
+    ignored.
+    """
     base = ExperimentConfig(scale=args.scale, seed=args.seed)
     updates = {}
-    if args.processes:
+    if args.processes is not None:
+        if not args.processes:
+            raise ValueError("--processes needs at least one value")
+        if any(count < 1 for count in args.processes):
+            raise ValueError("--processes values must be positive integers")
         updates["process_counts"] = tuple(args.processes)
-    if args.workloads:
+    if args.workloads is not None:
+        if args.workloads < 1:
+            raise ValueError("--workloads must be a positive integer")
         updates["workloads_per_count"] = args.workloads
-    if updates:
-        import dataclasses
+    if args.jobs < 0:
+        raise ValueError("--jobs must be a non-negative integer (0 = all CPUs)")
+    updates["jobs"] = args.jobs
+    import dataclasses
 
-        base = dataclasses.replace(base, **updates)
-    return base
+    return dataclasses.replace(base, **updates)
 
 
 def run_selected(names: List[str], config: ExperimentConfig) -> List[ExperimentResult]:
@@ -124,10 +171,40 @@ def run_selected(names: List[str], config: ExperimentConfig) -> List[ExperimentR
     return results
 
 
+def format_listing() -> str:
+    """Human-readable listing of experiments and registered components."""
+    lines = ["Experiments:"]
+    for name, description in experiment_descriptions().items():
+        lines.append(f"  {name:<10} {description}")
+    for title, registry in (
+        ("Scheduling policies", POLICIES),
+        ("Preemption mechanisms", MECHANISMS),
+        ("Transfer scheduling policies", TRANSFER_POLICIES),
+    ):
+        lines.append("")
+        lines.append(f"{title}:")
+        for name, description in registry.describe().items():
+            lines.append(f"  {name:<15} {description}")
+    return "\n".join(lines)
+
+
+def _unknown_experiment_message(unknown: List[str]) -> str:
+    message = f"unknown experiment(s): {', '.join(unknown)}"
+    suggestions = []
+    for name in unknown:
+        suggestions.extend(difflib.get_close_matches(name, EXPERIMENTS, n=1, cutoff=0.4))
+    if suggestions:
+        message += f" (did you mean: {', '.join(dict.fromkeys(suggestions))}?)"
+    return message
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.list:
+        print(format_listing())
+        return 0
     names = list(args.experiments)
     if args.all:
         names = list(EXPERIMENTS.keys())
@@ -136,15 +213,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
-        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
-    config = make_config(args)
+        parser.error(_unknown_experiment_message(unknown))
+    try:
+        config = make_config(args)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     results = run_selected(names, config)
-    output_chunks = [result.format() for result in results]
-    text = ("\n\n" + "=" * 78 + "\n\n").join(output_chunks)
+    if args.json:
+        text = json.dumps([result.to_dict() for result in results], indent=2)
+    else:
+        output_chunks = [result.format() for result in results]
+        text = ("\n\n" + "=" * 78 + "\n\n").join(output_chunks)
     print(text)
     if args.output:
-        with open(args.output, "a", encoding="utf-8") as handle:
+        # Text tables append one section per run; JSON must stay one document.
+        mode = "w" if args.json else "a"
+        with open(args.output, mode, encoding="utf-8") as handle:
             handle.write(text + "\n")
     return 0
 

@@ -3,16 +3,20 @@
 The paper evaluates the Dynamic Spatial Sharing policy with equal token
 budgets on random workloads of 2/4/6/8 processes, against the FCFS baseline,
 with both preemption mechanisms.  The data-transfer engine uses FCFS in all
-cases (Sec. 4.4).
+cases (Sec. 4.4).  Simulation runs through
+:class:`repro.runner.BatchRunner`, so ``ExperimentConfig(jobs=N)`` fans the
+grid out over ``N`` worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.base import ExperimentConfig
-from repro.memory.transfer_engine import TransferSchedulingPolicy
+from repro.experiments.priority_data import resolve_schemes
+from repro.runner import BatchRunner
+from repro.scenario import ScenarioSpec, SchemeSpec
 from repro.workloads.multiprogram import (
     WorkloadResult,
     WorkloadRunner,
@@ -20,11 +24,17 @@ from repro.workloads.multiprogram import (
     generate_random_workloads,
 )
 
-#: Scheme name -> (policy name, mechanism name).
-DSS_SCHEMES: Dict[str, Tuple[str, str]] = {
-    "fcfs": ("fcfs", "context_switch"),
-    "dss_cs": ("dss", "context_switch"),
-    "dss_drain": ("dss", "draining"),
+#: Scheme name -> declarative scheme spec.
+DSS_SCHEMES: Dict[str, SchemeSpec] = {
+    "fcfs": SchemeSpec(
+        name="fcfs", policy="fcfs", mechanism="context_switch", transfer_policy="fcfs"
+    ),
+    "dss_cs": SchemeSpec(
+        name="dss_cs", policy="dss", mechanism="context_switch", transfer_policy="fcfs"
+    ),
+    "dss_drain": SchemeSpec(
+        name="dss_drain", policy="dss", mechanism="draining", transfer_policy="fcfs"
+    ),
 }
 
 
@@ -46,14 +56,17 @@ def collect(
     config: Optional[ExperimentConfig] = None,
     *,
     runner: Optional[WorkloadRunner] = None,
-    schemes: Tuple[str, ...] = tuple(DSS_SCHEMES),
+    schemes: Sequence[Union[str, SchemeSpec]] = tuple(DSS_SCHEMES),
+    batch_runner: Optional[BatchRunner] = None,
 ) -> DSSExperimentData:
     """Simulate every random workload under FCFS and DSS (both mechanisms)."""
     config = config if config is not None else ExperimentConfig()
-    runner = runner if runner is not None else config.make_runner()
+    scheme_specs = resolve_schemes(schemes, DSS_SCHEMES)
     benchmarks = list(config.benchmarks) if config.benchmarks else None
     data = DSSExperimentData(config=config)
 
+    keys: List[Tuple[int, int, str]] = []
+    scenarios: List[ScenarioSpec] = []
     for process_count in config.process_counts:
         specs = generate_random_workloads(
             process_count,
@@ -63,13 +76,17 @@ def collect(
         )
         data.workloads[process_count] = specs
         for spec in specs:
-            for scheme in schemes:
-                policy, mechanism = DSS_SCHEMES[scheme]
-                result = runner.run(
-                    spec,
-                    policy=policy,
-                    mechanism=mechanism,
-                    transfer_policy=TransferSchedulingPolicy.FCFS,
+            for scheme in scheme_specs:
+                keys.append((process_count, spec.workload_id, scheme.label))
+                scenarios.append(
+                    ScenarioSpec.for_workload(spec, scheme, scale=config.scale)
                 )
-                data.results[(process_count, spec.workload_id, scheme)] = result
+
+    if runner is not None:
+        results = [runner.run_scenario(scenario) for scenario in scenarios]
+    else:
+        batch_runner = batch_runner if batch_runner is not None else config.make_batch_runner()
+        results = [record.result for record in batch_runner.run(scenarios)]
+
+    data.results = dict(zip(keys, results))
     return data

@@ -12,16 +12,19 @@ role the same number of times) under several schedulers:
   (Figure 6b).
 
 Running them is the expensive part, so both figures share one
-:class:`PriorityExperimentData` instance.
+:class:`PriorityExperimentData` instance.  Simulation runs through
+:class:`repro.runner.BatchRunner`, so ``ExperimentConfig(jobs=N)`` fans the
+grid out over ``N`` worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.base import ExperimentConfig
-from repro.memory.transfer_engine import TransferSchedulingPolicy
+from repro.runner import BatchRunner
+from repro.scenario import ScenarioSpec, SchemeSpec
 from repro.workloads.multiprogram import (
     WorkloadResult,
     WorkloadRunner,
@@ -29,18 +32,60 @@ from repro.workloads.multiprogram import (
     generate_priority_workloads,
 )
 
-#: Scheme name -> (policy name, mechanism name, transfer policy).
-PRIORITY_SCHEMES: Dict[str, Tuple[str, str, TransferSchedulingPolicy]] = {
-    "fcfs": ("fcfs", "context_switch", TransferSchedulingPolicy.FCFS),
-    "npq": ("npq", "context_switch", TransferSchedulingPolicy.PRIORITY),
-    "ppq_cs": ("ppq", "context_switch", TransferSchedulingPolicy.PRIORITY),
-    "ppq_drain": ("ppq", "draining", TransferSchedulingPolicy.PRIORITY),
-    "ppq_shared_cs": ("ppq_shared", "context_switch", TransferSchedulingPolicy.PRIORITY),
-    "ppq_shared_drain": ("ppq_shared", "draining", TransferSchedulingPolicy.PRIORITY),
+#: Scheme name -> declarative scheme spec.
+PRIORITY_SCHEMES: Dict[str, SchemeSpec] = {
+    "fcfs": SchemeSpec(
+        name="fcfs", policy="fcfs", mechanism="context_switch", transfer_policy="fcfs"
+    ),
+    "npq": SchemeSpec(
+        name="npq", policy="npq", mechanism="context_switch", transfer_policy="npq"
+    ),
+    "ppq_cs": SchemeSpec(
+        name="ppq_cs", policy="ppq", mechanism="context_switch", transfer_policy="npq"
+    ),
+    "ppq_drain": SchemeSpec(
+        name="ppq_drain", policy="ppq", mechanism="draining", transfer_policy="npq"
+    ),
+    "ppq_shared_cs": SchemeSpec(
+        name="ppq_shared_cs",
+        policy="ppq_shared",
+        mechanism="context_switch",
+        transfer_policy="npq",
+    ),
+    "ppq_shared_drain": SchemeSpec(
+        name="ppq_shared_drain",
+        policy="ppq_shared",
+        mechanism="draining",
+        transfer_policy="npq",
+    ),
 }
 
 #: Schemes needed by Figure 5 only (Figure 6 adds the shared-access ones).
 FIGURE5_SCHEMES = ("fcfs", "npq", "ppq_cs", "ppq_drain")
+
+
+def resolve_schemes(
+    schemes: Sequence[Union[str, SchemeSpec]], catalog: Dict[str, SchemeSpec]
+) -> List[SchemeSpec]:
+    """Resolve scheme names (from ``catalog``) and inline specs to specs.
+
+    Labels must be unique — results are keyed by them, so a collision would
+    silently overwrite simulated data.
+    """
+    resolved = []
+    for scheme in schemes:
+        if isinstance(scheme, SchemeSpec):
+            resolved.append(scheme)
+        else:
+            resolved.append(catalog[scheme])
+    labels = [scheme.label for scheme in resolved]
+    duplicates = {label for label in labels if labels.count(label) > 1}
+    if duplicates:
+        raise ValueError(
+            f"duplicate scheme labels: {sorted(duplicates)}; give each SchemeSpec "
+            "a distinct name"
+        )
+    return resolved
 
 
 @dataclass
@@ -64,15 +109,25 @@ class PriorityExperimentData:
 def collect(
     config: Optional[ExperimentConfig] = None,
     *,
-    schemes: Tuple[str, ...] = tuple(PRIORITY_SCHEMES),
+    schemes: Sequence[Union[str, SchemeSpec]] = tuple(PRIORITY_SCHEMES),
     runner: Optional[WorkloadRunner] = None,
+    batch_runner: Optional[BatchRunner] = None,
 ) -> PriorityExperimentData:
-    """Simulate every priority workload under the requested schemes."""
+    """Simulate every priority workload under the requested schemes.
+
+    The (process count × workload × scheme) grid is expanded into declarative
+    :class:`ScenarioSpec` values and executed by a
+    :class:`~repro.runner.BatchRunner` (``config.jobs`` workers).  Passing an
+    explicit ``runner`` runs the scenarios serially through it instead
+    (kept for tests that stub the runner).
+    """
     config = config if config is not None else ExperimentConfig()
-    runner = runner if runner is not None else config.make_runner()
+    scheme_specs = resolve_schemes(schemes, PRIORITY_SCHEMES)
     data = PriorityExperimentData(config=config)
     benchmarks = list(config.benchmarks) if config.benchmarks else None
 
+    keys: List[Tuple[int, int, str]] = []
+    scenarios: List[ScenarioSpec] = []
     for process_count in config.process_counts:
         specs = generate_priority_workloads(
             process_count,
@@ -82,13 +137,17 @@ def collect(
         )
         data.workloads[process_count] = specs
         for spec in specs:
-            for scheme in schemes:
-                policy, mechanism, transfer_policy = PRIORITY_SCHEMES[scheme]
-                result = runner.run(
-                    spec,
-                    policy=policy,
-                    mechanism=mechanism,
-                    transfer_policy=transfer_policy,
+            for scheme in scheme_specs:
+                keys.append((process_count, spec.workload_id, scheme.label))
+                scenarios.append(
+                    ScenarioSpec.for_workload(spec, scheme, scale=config.scale)
                 )
-                data.results[(process_count, spec.workload_id, scheme)] = result
+
+    if runner is not None:
+        results = [runner.run_scenario(scenario) for scenario in scenarios]
+    else:
+        batch_runner = batch_runner if batch_runner is not None else config.make_batch_runner()
+        results = [record.result for record in batch_runner.run(scenarios)]
+
+    data.results = dict(zip(keys, results))
     return data

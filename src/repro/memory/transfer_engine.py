@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.gpu.command_queue import Command, TransferCommand, TransferDirection
 from repro.memory.pcie import PCIeBus
+from repro.registry import register_transfer_policy
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatRegistry
 
@@ -24,6 +25,18 @@ class TransferSchedulingPolicy(enum.Enum):
     FCFS = "fcfs"
     #: Non-preemptive priority: the highest-priority waiting transfer goes next.
     PRIORITY = "npq"
+
+
+# Register the enum members so scheme specs and the CLI resolve transfer
+# policies through the same registry as policies/mechanisms.
+register_transfer_policy(
+    "fcfs", description="Transfers serviced strictly in arrival order"
+)(lambda: TransferSchedulingPolicy.FCFS)
+register_transfer_policy(
+    "npq",
+    "priority",
+    description="Highest-priority waiting transfer goes next (non-preemptive)",
+)(lambda: TransferSchedulingPolicy.PRIORITY)
 
 
 class DataTransferEngine:

@@ -1,0 +1,166 @@
+"""Batch execution of declarative scenarios, serial or parallel.
+
+The paper's evaluation is a large grid of *independent, deterministic*
+simulations (workload × scheme × process count).  :class:`BatchRunner` runs a
+list of :class:`~repro.scenario.ScenarioSpec` through that grid — serially in
+this process, or fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(the simulations are CPU-bound, so process-level parallelism scales with
+cores) — and returns structured, JSON-serialisable :class:`RunRecord` values
+in the input order.
+
+Because every simulation is deterministic (seeded RNG, discrete-event
+engine), serial and parallel execution produce identical records; the
+experiment harness relies on this to cache and share results.
+
+>>> from repro.runner import BatchRunner
+>>> from repro.scenario import ScenarioSpec, SchemeSpec
+>>> scenarios = [
+...     ScenarioSpec(scheme=SchemeSpec(policy="fcfs"), applications=("lbm", "spmv"),
+...                  scale="smoke"),
+... ]
+>>> records = BatchRunner(jobs=2).run(scenarios)
+>>> records[0].result.metrics.stp > 0
+True
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.scenario import ScenarioSpec
+from repro.workloads.multiprogram import WorkloadResult, WorkloadRunner
+
+#: Per-process cache of workload runners, keyed by (scale, config overrides).
+#: A runner caches the benchmark suite and the isolated baselines, which are
+#: the expensive shared state of a batch; reusing it across scenarios in the
+#: same (worker) process is what makes large grids tractable.
+_RUNNER_CACHE: Dict[Tuple[str, str], WorkloadRunner] = {}
+
+
+def _context_key(scenario: ScenarioSpec) -> Tuple[str, str]:
+    return (
+        scenario.scale,
+        json.dumps(dict(scenario.config_overrides), sort_keys=True, default=str),
+    )
+
+
+def runner_for(scenario: ScenarioSpec) -> WorkloadRunner:
+    """The (cached) :class:`WorkloadRunner` matching a scenario's context."""
+    key = _context_key(scenario)
+    runner = _RUNNER_CACHE.get(key)
+    if runner is None:
+        config = scenario.system_config() if scenario.config_overrides else None
+        runner = WorkloadRunner(scale=scenario.workload_scale(), config=config)
+        _RUNNER_CACHE[key] = runner
+    return runner
+
+
+@dataclass
+class RunRecord:
+    """Structured outcome of one scenario: the spec plus its results."""
+
+    scenario: ScenarioSpec
+    result: WorkloadResult
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (spec, timings, metrics, engine stats)."""
+        metrics = self.result.metrics
+        return {
+            "scenario": self.scenario.to_dict(),
+            "scheme": self.scenario.scheme.label,
+            "process_times_us": dict(self.result.process_times_us),
+            "process_applications": dict(self.result.process_applications),
+            "metrics": {
+                "ntt": dict(metrics.ntt),
+                "antt": metrics.antt,
+                "stp": metrics.stp,
+                "fairness": metrics.fairness,
+            },
+            "engine_stats": dict(self.result.engine_stats),
+            "simulated_time_us": self.result.simulated_time_us,
+            "events_processed": self.result.events_processed,
+        }
+
+    def to_json(self) -> str:
+        """JSON form."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def execute_scenario(scenario: ScenarioSpec) -> RunRecord:
+    """Run one scenario in this process (the unit of work of a batch)."""
+    result = runner_for(scenario).run_scenario(scenario)
+    return RunRecord(scenario=scenario, result=result)
+
+
+def _execute_payload(payload: Dict[str, Any]) -> RunRecord:
+    """Worker-side entry point: rebuild the spec from its dict form and run."""
+    return execute_scenario(ScenarioSpec.from_dict(payload))
+
+
+class BatchRunner:
+    """Executes lists of scenarios, optionally over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes.  ``1`` (the default) runs everything
+        serially in this process; ``0`` or ``None`` uses every CPU.
+    chunksize:
+        Scenarios handed to a worker at a time (parallel mode only);
+        defaults to a heuristic that balances load and baseline-cache reuse.
+    """
+
+    def __init__(self, *, jobs: Optional[int] = 1, chunksize: Optional[int] = None):
+        if jobs is None or jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self.chunksize = chunksize
+
+    def run(self, scenarios: Iterable[ScenarioSpec]) -> List[RunRecord]:
+        """Run every scenario and return records in the input order."""
+        scenarios = list(scenarios)
+        if self.jobs == 1 or len(scenarios) < 2:
+            return [execute_scenario(scenario) for scenario in scenarios]
+        return self._run_parallel(scenarios)
+
+    def _run_parallel(self, scenarios: List[ScenarioSpec]) -> List[RunRecord]:
+        workers = min(self.jobs, len(scenarios))
+        payloads = [scenario.to_dict() for scenario in scenarios]
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, len(scenarios) // (workers * 4))
+        try:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        except OSError as exc:  # pragma: no cover - sandboxed hosts
+            return self._serial_fallback(scenarios, exc)
+        with executor:
+            try:
+                # Probe that workers can actually spawn (sandboxes may allow
+                # creating the pool but forbid forking processes) before
+                # committing the real grid to it.
+                executor.submit(int).result()
+            except OSError as exc:  # pragma: no cover - sandboxed hosts
+                return self._serial_fallback(scenarios, exc)
+            # Worker errors (including OSError raised *by a scenario*) now
+            # propagate: discarding completed work to re-run a long grid
+            # serially would be far costlier than failing fast.
+            return list(executor.map(_execute_payload, payloads, chunksize=chunksize))
+
+    @staticmethod
+    def _serial_fallback(
+        scenarios: List[ScenarioSpec], exc: BaseException
+    ) -> List[RunRecord]:  # pragma: no cover - sandboxed hosts
+        warnings.warn(
+            f"process pool unavailable ({exc}); falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return [execute_scenario(scenario) for scenario in scenarios]
+
+
+__all__ = ["BatchRunner", "RunRecord", "execute_scenario", "runner_for"]

@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Union
 from repro.core.policies import SchedulingPolicy, make_policy
 from repro.core.preemption import PreemptionMechanism, make_mechanism
 from repro.gpu.config import SystemConfig
+from repro.registry import POLICIES, TRANSFER_POLICIES
+from repro.scenario import ScenarioSpec
 from repro.gpu.context import ContextTable
 from repro.gpu.dispatcher import CommandDispatcher
 from repro.gpu.execution_engine import ExecutionEngine
@@ -59,7 +61,7 @@ class GPUSystem:
         if isinstance(mechanism, str):
             mechanism = make_mechanism(mechanism)
         if isinstance(transfer_policy, str):
-            transfer_policy = TransferSchedulingPolicy(transfer_policy)
+            transfer_policy = TRANSFER_POLICIES.create(transfer_policy)
 
         self.context_table = ContextTable()
         self.dram = DRAMModel(self.config.gpu)
@@ -90,9 +92,75 @@ class GPUSystem:
             dispatcher=self.dispatcher,
         )
         self.processes: List[HostProcess] = []
+        self._process_index: Dict[str, HostProcess] = {}
         #: Minimum completed iterations per process before :meth:`run` with
         #: ``stop_after_min_iterations`` halts the simulation.
         self._min_iterations: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Declarative construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: ScenarioSpec,
+        *,
+        config: Optional[SystemConfig] = None,
+        suite=None,
+    ) -> "GPUSystem":
+        """Build a system (processes included) from a :class:`ScenarioSpec`.
+
+        This is the canonical constructor of the declarative API: the
+        scenario's scheme is resolved through the component registries, the
+        workload scale preset supplies the benchmark suite and the scaled
+        hardware configuration, and one process per application is added with
+        the scenario's priorities and start stagger.
+
+        Parameters
+        ----------
+        config:
+            Pre-scaled :class:`SystemConfig` to use instead of the scenario's
+            (``scale.scale_config(scenario.system_config())``).
+        suite:
+            :class:`~repro.workloads.parboil.ParboilSuite` supplying the
+            application traces (default: a suite at the scenario's scale).
+        """
+        from repro.workloads.parboil import ParboilSuite  # local: avoids cycle
+
+        scale = scenario.workload_scale()
+        if config is None:
+            config = scale.scale_config(scenario.system_config())
+        if suite is None:
+            suite = ParboilSuite(scale)
+
+        scheme = scenario.scheme
+        options = dict(scheme.policy_options)
+        if POLICIES.canonical_name(scheme.policy) == "dss":
+            # Equal sharing needs the process count for its token budgets.
+            options.setdefault("process_count", scenario.num_processes)
+
+        system = cls(
+            config,
+            policy=scheme.policy,
+            mechanism=scheme.mechanism,
+            transfer_policy=scheme.transfer_policy,
+            policy_options=options or None,
+        )
+        for slot, (app, process_name) in enumerate(
+            zip(scenario.applications, scenario.process_names())
+        ):
+            priority = (
+                scenario.high_priority
+                if slot == scenario.high_priority_index
+                else scenario.normal_priority
+            )
+            system.add_process(
+                process_name,
+                suite.trace(app),
+                priority=priority,
+                start_delay_us=scenario.start_stagger_us * slot,
+            )
+        return system
 
     # ------------------------------------------------------------------
     # Workload construction
@@ -118,7 +186,7 @@ class GPUSystem:
         max_iterations: Optional[int] = None,
     ) -> HostProcess:
         """Add (but do not yet start) a host process replaying ``trace``."""
-        if any(p.name == name for p in self.processes):
+        if name in self._process_index:
             raise ValueError(f"a process named {name!r} already exists")
         process = HostProcess(
             name,
@@ -133,14 +201,15 @@ class GPUSystem:
             on_iteration_complete=self._on_iteration_complete,
         )
         self.processes.append(process)
+        self._process_index[name] = process
         return process
 
     def process(self, name: str) -> HostProcess:
-        """Look up a process by name."""
-        for process in self.processes:
-            if process.name == name:
-                return process
-        raise KeyError(f"no process named {name!r}")
+        """Look up a process by name (O(1))."""
+        try:
+            return self._process_index[name]
+        except KeyError:
+            raise KeyError(f"no process named {name!r}") from None
 
     # ------------------------------------------------------------------
     # Execution

@@ -25,17 +25,18 @@ from typing import Dict, List, Optional, Sequence
 from repro.gpu.config import SystemConfig
 from repro.memory.transfer_engine import TransferSchedulingPolicy
 from repro.metrics.multiprogram import MultiprogramMetrics
+from repro.scenario import (
+    DEFAULT_MAX_EVENTS,
+    HIGH_PRIORITY,
+    NORMAL_PRIORITY,
+    ScenarioSpec,
+    SchemeSpec,
+    _canonicalize,
+    config_to_overrides,
+)
 from repro.system import GPUSystem
 from repro.workloads.parboil import ParboilSuite
 from repro.workloads.scale import WorkloadScale
-
-#: Priority assigned to the high-priority process of priority workloads.
-HIGH_PRIORITY = 10
-#: Priority of every other process.
-NORMAL_PRIORITY = 0
-
-#: Safety bound on events per simulated workload (livelock guard).
-DEFAULT_MAX_EVENTS = 50_000_000
 
 
 @dataclass(frozen=True)
@@ -240,16 +241,54 @@ class WorkloadRunner:
     ):
         self.scale = scale if scale is not None else WorkloadScale.reduced()
         self.suite = suite if suite is not None else ParboilSuite(self.scale)
-        base_config = config if config is not None else SystemConfig()
+        #: Unscaled configuration, kept for scenario serialisation.
+        self._base_config = config if config is not None else SystemConfig()
         #: Fixed host/PCIe latencies are scaled together with the workload so
         #: the compute/transfer balance matches the full-scale system.
-        self.config = self.scale.scale_config(base_config)
+        self.config = self.scale.scale_config(self._base_config)
         self.baseline = IsolatedBaseline(self.suite, config=self.config)
         self._max_events = max_events
 
     # ------------------------------------------------------------------
     # Running one workload
     # ------------------------------------------------------------------
+    def scenario_for(
+        self,
+        spec: WorkloadSpec,
+        *,
+        policy: str,
+        mechanism: str = "context_switch",
+        transfer_policy: Optional[TransferSchedulingPolicy] = None,
+        policy_options: Optional[Dict] = None,
+        min_iterations: Optional[int] = None,
+    ) -> ScenarioSpec:
+        """Build the declarative :class:`ScenarioSpec` for one run.
+
+        ``transfer_policy`` defaults to NPQ for priority workloads (as in the
+        paper's Sec. 4.2/4.3 experiments) and FCFS otherwise (Sec. 4.4).
+        """
+        if transfer_policy is None:
+            transfer_policy = (
+                TransferSchedulingPolicy.PRIORITY
+                if spec.high_priority_index is not None
+                else TransferSchedulingPolicy.FCFS
+            )
+        scheme = SchemeSpec(
+            policy=policy,
+            mechanism=mechanism,
+            transfer_policy=transfer_policy.value
+            if isinstance(transfer_policy, TransferSchedulingPolicy)
+            else transfer_policy,
+            policy_options=policy_options or {},
+        )
+        return ScenarioSpec.for_workload(
+            spec,
+            scheme,
+            scale=self.scale.name,
+            config_overrides=config_to_overrides(self._base_config),
+            min_iterations=min_iterations,
+        )
+
     def run(
         self,
         spec: WorkloadSpec,
@@ -260,45 +299,57 @@ class WorkloadRunner:
         policy_options: Optional[Dict] = None,
         min_iterations: Optional[int] = None,
     ) -> WorkloadResult:
-        """Simulate ``spec`` under ``policy``/``mechanism`` and collect metrics.
-
-        ``transfer_policy`` defaults to NPQ for priority workloads (as in the
-        paper's Sec. 4.2/4.3 experiments) and FCFS otherwise (Sec. 4.4).
-        """
-        options = dict(policy_options or {})
-        if policy == "dss":
-            options.setdefault("process_count", spec.num_processes)
-        if transfer_policy is None:
-            transfer_policy = (
-                TransferSchedulingPolicy.PRIORITY
-                if spec.high_priority_index is not None
-                else TransferSchedulingPolicy.FCFS
+        """Simulate ``spec`` under ``policy``/``mechanism`` and collect metrics."""
+        return self.run_scenario(
+            self.scenario_for(
+                spec,
+                policy=policy,
+                mechanism=mechanism,
+                transfer_policy=transfer_policy,
+                policy_options=policy_options,
+                min_iterations=min_iterations,
             )
+        )
 
-        system = GPUSystem(
-            self.config,
-            policy=policy,
-            mechanism=mechanism,
-            transfer_policy=transfer_policy,
-            policy_options=options or None,
+    def run_scenario(self, scenario: ScenarioSpec) -> WorkloadResult:
+        """Simulate one declarative scenario and collect metrics.
+
+        The system is built by :meth:`GPUSystem.from_scenario` with this
+        runner's (already scaled) configuration and benchmark suite, so
+        results are identical whether a scenario is run here, serially, or in
+        a :class:`repro.runner.BatchRunner` worker process.  A scenario whose
+        scale or configuration overrides do not match this runner is rejected
+        — running it here would silently produce results attributed to a
+        configuration that was never simulated (use
+        :func:`repro.runner.execute_scenario`, which picks the right runner).
+        """
+        if scenario.scale != self.scale.name:
+            raise ValueError(
+                f"scenario scale {scenario.scale!r} does not match this runner's "
+                f"scale {self.scale.name!r}"
+            )
+        own_overrides = _canonicalize(config_to_overrides(self._base_config))
+        if dict(scenario.config_overrides) != own_overrides:
+            raise ValueError(
+                "scenario config_overrides do not match this runner's configuration"
+            )
+        system = GPUSystem.from_scenario(scenario, config=self.config, suite=self.suite)
+        iterations = (
+            scenario.min_iterations
+            if scenario.min_iterations is not None
+            else self.scale.min_iterations
+        )
+        max_events = (
+            scenario.max_events if scenario.max_events is not None else self._max_events
+        )
+        system.run(stop_after_min_iterations=iterations, max_events=max_events)
+
+        spec = WorkloadSpec(
+            applications=scenario.applications,
+            high_priority_index=scenario.high_priority_index,
+            workload_id=scenario.workload_id,
         )
         process_names = spec.process_names()
-        for slot, (app, process_name) in enumerate(zip(spec.applications, process_names)):
-            priority = (
-                HIGH_PRIORITY if slot == spec.high_priority_index else NORMAL_PRIORITY
-            )
-            # Small start stagger avoids every process hitting the driver at
-            # the exact same instant, which no real system exhibits.
-            system.add_process(
-                process_name,
-                self.suite.trace(app),
-                priority=priority,
-                start_delay_us=0.1 * slot,
-            )
-
-        iterations = min_iterations if min_iterations is not None else self.scale.min_iterations
-        system.run(stop_after_min_iterations=iterations, max_events=self._max_events)
-
         process_times = system.mean_iteration_times_us()
         process_applications = dict(zip(process_names, spec.applications))
         isolated = {
@@ -307,8 +358,8 @@ class WorkloadRunner:
         metrics = MultiprogramMetrics.compute(process_times, isolated)
         return WorkloadResult(
             spec=spec,
-            policy=policy,
-            mechanism=mechanism,
+            policy=scenario.scheme.policy,
+            mechanism=scenario.scheme.mechanism,
             process_times_us=process_times,
             process_applications=process_applications,
             metrics=metrics,

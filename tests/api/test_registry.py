@@ -1,0 +1,118 @@
+"""Tests for the component registries and the legacy factory delegates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import (
+    DynamicSpatialSharingPolicy,
+    FCFSPolicy,
+    NonPreemptivePriorityPolicy,
+    PreemptivePriorityPolicy,
+    make_policy,
+)
+from repro.core.preemption import ContextSwitchMechanism, DrainingMechanism, make_mechanism
+from repro.memory.transfer_engine import TransferSchedulingPolicy
+from repro.registry import (
+    MECHANISMS,
+    POLICIES,
+    TRANSFER_POLICIES,
+    ComponentRegistry,
+    UnknownComponentError,
+    register_policy,
+)
+
+
+class TestBuiltinRegistrations:
+    def test_policy_names(self):
+        assert POLICIES.names() == ["dss", "fcfs", "npq", "ppq", "ppq_shared"]
+
+    def test_mechanism_names(self):
+        assert MECHANISMS.names() == ["context_switch", "draining"]
+
+    def test_transfer_policy_names(self):
+        assert TRANSFER_POLICIES.names() == ["fcfs", "npq"]
+
+    def test_create_resolves_aliases_and_case(self):
+        assert isinstance(POLICIES.create("DSS"), DynamicSpatialSharingPolicy)
+        assert isinstance(POLICIES.create("dynamic-spatial-sharing"), DynamicSpatialSharingPolicy)
+        assert isinstance(MECHANISMS.create("cs"), ContextSwitchMechanism)
+        assert TRANSFER_POLICIES.create("priority") is TransferSchedulingPolicy.PRIORITY
+
+    def test_ppq_variants_defaults_and_overrides(self):
+        assert POLICIES.create("ppq").exclusive_access is True
+        assert POLICIES.create("ppq", exclusive_access=False).exclusive_access is False
+        shared = POLICIES.create("ppq_shared")
+        assert shared.exclusive_access is False
+        # The override is forced: callers cannot re-enable exclusive access.
+        assert POLICIES.create("ppq_shared", exclusive_access=True).exclusive_access is False
+
+    def test_describe_has_a_line_per_component(self):
+        descriptions = POLICIES.describe()
+        assert set(descriptions) == set(POLICIES.names())
+        assert all(descriptions.values())
+
+    def test_canonical_name(self):
+        assert POLICIES.canonical_name("preemptive_priority") == "ppq"
+        assert "ppq" in POLICIES
+        assert "made_up" not in POLICIES
+        assert 42 not in POLICIES
+
+
+class TestErrors:
+    def test_unknown_name_raises_value_error_with_suggestion(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            POLICIES.create("fcsf")
+        with pytest.raises(UnknownComponentError, match="did you mean"):
+            POLICIES.create("fcsf")
+
+    def test_duplicate_registration_rejected(self):
+        registry = ComponentRegistry("demo")
+        registry.add("thing", object)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add("thing", object)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add("other", object, "thing")  # alias collision
+
+    def test_unregister_removes_aliases(self):
+        registry = ComponentRegistry("demo")
+        registry.add("thing", object, "alias")
+        registry.unregister("alias")
+        assert "thing" not in registry
+        assert len(registry) == 0
+
+
+class TestCustomRegistration:
+    def test_registered_policy_resolves_everywhere(self):
+        @register_policy("custom_fcfs_demo", description="demo")
+        class CustomPolicy(FCFSPolicy):
+            name = "custom_fcfs_demo"
+
+        try:
+            created = make_policy("custom_fcfs_demo")
+            assert isinstance(created, CustomPolicy)
+            from repro import GPUSystem
+
+            system = GPUSystem(policy="custom_fcfs_demo")
+            assert system.policy.name == "custom_fcfs_demo"
+        finally:
+            POLICIES.unregister("custom_fcfs_demo")
+
+
+class TestLegacyFactories:
+    """make_policy / make_mechanism must keep working unchanged."""
+
+    def test_make_policy_names(self):
+        assert isinstance(make_policy("fcfs"), FCFSPolicy)
+        assert isinstance(make_policy("npq"), NonPreemptivePriorityPolicy)
+        assert isinstance(make_policy("ppq"), PreemptivePriorityPolicy)
+        assert isinstance(make_policy("ppq_shared"), PreemptivePriorityPolicy)
+        assert isinstance(make_policy("dss"), DynamicSpatialSharingPolicy)
+        with pytest.raises(ValueError):
+            make_policy("round-robin")
+
+    def test_make_mechanism_names(self):
+        assert isinstance(make_mechanism("context-switch"), ContextSwitchMechanism)
+        assert isinstance(make_mechanism("DRAIN"), DrainingMechanism)
+        with pytest.raises(ValueError):
+            make_mechanism("magic")

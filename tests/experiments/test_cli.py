@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments.cli import EXPERIMENTS, build_parser, main, make_config
@@ -45,3 +47,61 @@ def test_main_without_experiments_shows_help(capsys):
 def test_main_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         main(["figure99"])
+
+
+def test_unknown_experiment_suggests_close_match(capsys):
+    with pytest.raises(SystemExit):
+        main(["figre5"])
+    assert "did you mean: figure5" in capsys.readouterr().err
+
+
+def test_make_config_rejects_falsy_and_invalid_values():
+    parser = build_parser()
+    with pytest.raises(ValueError, match="--processes needs at least one value"):
+        make_config(parser.parse_args(["table1", "--processes"]))
+    with pytest.raises(ValueError, match="--processes values must be positive"):
+        make_config(parser.parse_args(["table1", "--processes", "0"]))
+    with pytest.raises(ValueError, match="--workloads must be a positive"):
+        make_config(parser.parse_args(["table1", "--workloads", "0"]))
+    with pytest.raises(ValueError, match="--jobs"):
+        make_config(parser.parse_args(["table1", "--jobs", "-1"]))
+
+
+def test_make_config_applies_jobs():
+    parser = build_parser()
+    config = make_config(parser.parse_args(["figure5", "--jobs", "3"]))
+    assert config.jobs == 3
+    # 0 = all CPUs, resolved by the BatchRunner.
+    config = make_config(parser.parse_args(["figure5", "--jobs", "0"]))
+    assert config.make_batch_runner().jobs >= 1
+
+
+def test_main_list_prints_experiments_and_components(capsys):
+    assert main(["--list"]) == 0
+    printed = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in printed
+    for component in ("fcfs", "ppq_shared", "dss", "context_switch", "draining"):
+        assert component in printed
+
+
+def test_main_json_output(capsys, tmp_path):
+    output = tmp_path / "results.json"
+    exit_code = main(["table2", "--scale", "smoke", "--json", "--output", str(output)])
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["name"] == "Table 2"
+    assert payload[0]["rows"]
+    assert json.loads(output.read_text())[0]["name"] == "Table 2"
+    # Running again must overwrite, not append (the file stays valid JSON).
+    assert main(["table2", "--scale", "smoke", "--json", "--output", str(output)]) == 0
+    assert json.loads(output.read_text())[0]["name"] == "Table 2"
+
+
+def test_main_with_jobs_runs_parallel(capsys):
+    exit_code = main(
+        ["figure5", "--scale", "smoke", "--jobs", "2", "--processes", "2",
+         "--seed", "7"]
+    )
+    assert exit_code == 0
+    assert "Figure 5" in capsys.readouterr().out
