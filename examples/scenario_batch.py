@@ -3,8 +3,9 @@
 
 Builds a small grid of scenarios (two workloads x three schemes) as frozen,
 JSON-round-trippable specs, runs them in parallel with a BatchRunner, prints
-the per-scheme metrics, and registers a custom scheduling policy to show the
-plugin registry in action.
+the per-scheme metrics, registers a custom scheduling policy to show the
+plugin registry in action, and finally fuzzes a batch of fully seed-derived
+synthetic scenarios with runtime invariant validation attached.
 
 Run with:  python examples/scenario_batch.py
 """
@@ -16,6 +17,7 @@ import os
 from repro import BatchRunner, ScenarioSpec, SchemeSpec, register_policy
 from repro.core.policies.fcfs import FCFSPolicy
 from repro.workloads.multiprogram import generate_random_workloads
+from repro.workloads.synthetic import generate_synthetic_scenarios
 
 SCHEMES = [
     SchemeSpec(name="fcfs", policy="fcfs"),
@@ -51,6 +53,29 @@ def demo_registry() -> None:
     print(f"registered custom policy -> {type(scheme.build_policy()).__name__}")
 
 
+def demo_fuzzing() -> None:
+    """Fuzz seed-derived scenarios with the invariant checkers attached.
+
+    Every dimension — kernel shapes, resource footprints, phase balance,
+    arrival staggers, priorities, process counts, schemes — is derived from
+    the seed, and the validation layer proves each run obeyed the simulator's
+    conservation laws (``record.ok``).
+    """
+    scenarios = generate_synthetic_scenarios(6, seed=2014, scale="smoke", validate=True)
+    records = BatchRunner(jobs=0).run(scenarios)
+
+    print(f"\nfuzzing {len(scenarios)} seed-derived scenarios (validated):")
+    print(f"{'scenario':<44} {'ANTT':>6} {'STP':>6} {'violations':>11}")
+    for record in records:
+        metrics = record.result.metrics
+        status = len(record.violations)
+        print(
+            f"{record.scenario.describe():<44} {metrics.antt:>6.2f} "
+            f"{metrics.stp:>6.2f} {status:>11}"
+        )
+    assert all(record.ok for record in records), "invariant violation detected!"
+
+
 def main() -> None:
     scenarios = build_scenarios()
     print(f"Running {len(scenarios)} scenarios on {os.cpu_count()} CPU(s)...")
@@ -69,6 +94,7 @@ def main() -> None:
     print(f"\nfirst record as JSON: {len(blob)} bytes")
 
     demo_registry()
+    demo_fuzzing()
 
 
 if __name__ == "__main__":

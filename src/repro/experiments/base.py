@@ -34,6 +34,9 @@ class ExperimentConfig:
     benchmarks: Optional[Tuple[str, ...]] = None
     #: Parallel simulation worker processes (1 = serial, 0 = all CPUs).
     jobs: int = 1
+    #: Attach the runtime invariant-validation layer to every simulated run.
+    #: Checkers observe, never perturb: results stay byte-identical.
+    validate: bool = False
 
     def workload_scale(self) -> WorkloadScale:
         """The resolved workload scale preset."""
@@ -83,6 +86,12 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     #: Machine-readable extras (per-series data for plotting or assertions).
     series: Dict[str, object] = field(default_factory=dict)
+    #: Invariant violations detected across the experiment's simulated runs
+    #: (only populated when the experiment ran with ``config.validate``; the
+    #: CLI turns a non-zero total into a non-zero exit code).  Deliberately
+    #: kept out of :meth:`format`/:meth:`to_dict` so enabling validation
+    #: never changes the rendered output.
+    violation_count: int = 0
 
     def format(self) -> str:
         """Render the result as an aligned plain-text table."""

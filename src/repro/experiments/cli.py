@@ -30,10 +30,11 @@ import difflib
 import json
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import dss_data, priority_data
 from repro.experiments import figure2, figure5, figure6, figure7, figure8, table1, table2
+from repro.experiments import synthetic
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.registry import MECHANISMS, POLICIES, TRANSFER_POLICIES
 
@@ -47,6 +48,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "figure6": figure6.run,
     "figure7": figure7.run,
     "figure8": figure8.run,
+    "synthetic": synthetic.run,
 }
 
 
@@ -103,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=2014, help="workload generation seed")
     parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="attach the runtime invariant-validation layer to every simulated "
+        "scenario/system run (observers only; printed results are byte-identical); "
+        "exits non-zero if any invariant violation is detected",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead of tables"
     )
     parser.add_argument("--output", default=None, help="write results to this file as well")
@@ -131,13 +140,21 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
     if args.jobs < 0:
         raise ValueError("--jobs must be a non-negative integer (0 = all CPUs)")
     updates["jobs"] = args.jobs
+    updates["validate"] = bool(getattr(args, "validate", False))
     import dataclasses
 
     return dataclasses.replace(base, **updates)
 
 
-def run_selected(names: List[str], config: ExperimentConfig) -> List[ExperimentResult]:
-    """Run the selected experiments, sharing simulation data where possible."""
+def run_selected(
+    names: List[str], config: ExperimentConfig
+) -> Tuple[List[ExperimentResult], int]:
+    """Run the selected experiments, sharing simulation data where possible.
+
+    Returns the results plus the total number of invariant violations
+    detected across every simulated run (always 0 unless ``config.validate``
+    attached the checkers — and 0 then too, for a correct simulator).
+    """
     results: List[ExperimentResult] = []
     priority_cache = None
     dss_cache = None
@@ -168,7 +185,16 @@ def run_selected(names: List[str], config: ExperimentConfig) -> List[ExperimentR
             result = EXPERIMENTS[name](config)
         result.notes.append(f"Wall-clock time: {time.time() - started:.1f} s")
         results.append(result)
-    return results
+    # Violations live in three places: the shared figure caches (figures
+    # 5-8), and per-result counts (synthetic, figure2).
+    violation_total = sum(
+        len(workload_result.violations)
+        for cache in (priority_cache, dss_cache)
+        if cache is not None
+        for workload_result in cache.results.values()
+    )
+    violation_total += sum(result.violation_count for result in results)
+    return results, violation_total
 
 
 def format_listing() -> str:
@@ -219,7 +245,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
-    results = run_selected(names, config)
+    results, violation_total = run_selected(names, config)
     if args.json:
         text = json.dumps([result.to_dict() for result in results], indent=2)
     else:
@@ -231,6 +257,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         mode = "w" if args.json else "a"
         with open(args.output, mode, encoding="utf-8") as handle:
             handle.write(text + "\n")
+    if violation_total:
+        # stderr + exit code only: stdout stays byte-identical so enabling
+        # --validate never perturbs archived results.
+        print(
+            f"ERROR: {violation_total} invariant violation(s) detected; re-run "
+            "the offending scenario with repro.validation for details",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -79,7 +79,9 @@ def collect(
             for scheme in scheme_specs:
                 keys.append((process_count, spec.workload_id, scheme.label))
                 scenarios.append(
-                    ScenarioSpec.for_workload(spec, scheme, scale=config.scale)
+                    ScenarioSpec.for_workload(
+                        spec, scheme, scale=config.scale, validate=config.validate
+                    )
                 )
 
     if runner is not None:

@@ -54,9 +54,15 @@ def _single_kernel_trace(name: str, spec: KernelSpec, *, cpu_us: float) -> Appli
     return ApplicationTrace(name=name, kernels={spec.name: spec}, operations=operations)
 
 
-def _k3_latency(policy: str, mechanism: str) -> float:
-    """Turnaround time of the high-priority process (K3) under one scheduler."""
-    system = GPUSystem(policy=policy, mechanism=mechanism, transfer_policy="npq")
+def _k3_latency(policy: str, mechanism: str, *, validate: bool = False) -> tuple[float, int]:
+    """Turnaround time of the high-priority process (K3) under one scheduler.
+
+    Returns ``(latency_us, violation_count)``; the count is always 0 unless
+    ``validate`` attached the invariant checkers and one of them fired.
+    """
+    system = GPUSystem(
+        policy=policy, mechanism=mechanism, transfer_policy="npq", validate=validate
+    )
     k1 = _kernel("K1", blocks=1300, tb_time_us=40.0)
     k2 = _kernel("K2", blocks=1300, tb_time_us=40.0)
     k3 = _kernel("K3", blocks=130, tb_time_us=10.0)
@@ -68,12 +74,16 @@ def _k3_latency(policy: str, mechanism: str) -> float:
     system.add_process("rt", _single_kernel_trace("rt", k3, cpu_us=1.0), priority=10,
                        start_delay_us=500.0, max_iterations=1)
     system.run(max_events=5_000_000)
-    return system.process("rt").mean_iteration_time_us()
+    return system.process("rt").mean_iteration_time_us(), len(system.violations())
 
 
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    """Reproduce the Figure 2 scenario and report K3's turnaround time."""
-    del config  # The scenario is fixed; it does not use the Parboil suite.
+    """Reproduce the Figure 2 scenario and report K3's turnaround time.
+
+    The scenario is fixed (it does not use the Parboil suite); the
+    configuration only supplies the ``validate`` toggle.
+    """
+    validate = config.validate if config is not None else False
     schemes: Dict[str, tuple[str, str]] = {
         "FCFS (current GPUs, Fig. 2a)": ("fcfs", "context_switch"),
         "Nonpreemptive priority (Fig. 2b)": ("npq", "context_switch"),
@@ -85,7 +95,11 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         description="Turnaround time of a high-priority kernel (K3) behind two long kernels",
         headers=["Scheduler", "K3 turnaround (us)", "Speedup vs FCFS"],
     )
-    latencies = {label: _k3_latency(*args) for label, args in schemes.items()}
+    latencies = {}
+    for label, args in schemes.items():
+        latency, violations = _k3_latency(*args, validate=validate)
+        latencies[label] = latency
+        result.violation_count += violations
     baseline = latencies["FCFS (current GPUs, Fig. 2a)"]
     for label, latency in latencies.items():
         result.rows.append([label, round(latency, 1), round(baseline / latency, 2)])

@@ -62,6 +62,9 @@ class CommandDispatcher:
         #: engine buffer, whose back-pressure callback calls dispatch() again.
         self._dispatching = False
         self._redispatch_requested = False
+        #: Optional instrumentation sink (see :mod:`repro.validation`),
+        #: notified of enqueue/issue/completion; must never mutate state.
+        self.observer: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Queue access
@@ -89,6 +92,8 @@ class CommandDispatcher:
         queue = self._queues[queue_id]
         queue.push(command, self._sim.now)
         self.stats.counter("commands_enqueued").add()
+        if self.observer is not None:
+            self.observer.on_command_enqueued(queue_id, command)
         self.dispatch()
 
     # ------------------------------------------------------------------
@@ -131,6 +136,8 @@ class CommandDispatcher:
                         lambda now, cid=command.command_id: self._on_command_complete(cid)
                     )
                     self.stats.counter(f"commands_issued_{command.engine}").add()
+                    if self.observer is not None:
+                        self.observer.on_command_issued(queue.queue_id, command)
                     progress = True
         finally:
             self._dispatching = False
@@ -143,6 +150,8 @@ class CommandDispatcher:
         queue = self._queues[queue_id]
         queue.in_flight = None
         self.stats.counter("commands_completed").add()
+        if self.observer is not None:
+            self.observer.on_command_completed(queue_id, command_id)
         self.dispatch()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

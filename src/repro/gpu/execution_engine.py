@@ -60,6 +60,10 @@ class ExecutionEngine:
         self._backpressure_callbacks: List[Callable[[], None]] = []
         #: Completed kernel launches, in completion order (for reporting).
         self.completed_launches: List[KernelLaunch] = []
+        #: Optional instrumentation sink (see :mod:`repro.validation`),
+        #: notified of preemption completions and kernel completions; it must
+        #: never mutate simulation state.
+        self.observer: Optional[object] = None
 
         policy.bind(self)
         mechanism.bind(self)
@@ -160,6 +164,8 @@ class ExecutionEngine:
         self.stats.counter("preemptions_completed").add()
         if evicted_blocks:
             self.stats.counter("thread_blocks_evicted").add(len(evicted_blocks))
+        if self.observer is not None:
+            self.observer.on_preemption_complete(self._sms[sm_id], evicted_blocks, self.mechanism)
         self.sm_driver.complete_preemption(sm_id, evicted_blocks)
 
     # ------------------------------------------------------------------
@@ -176,6 +182,8 @@ class ExecutionEngine:
         command = self.framework.finish_kernel(ksr_index)
         self.completed_launches.append(entry.launch)
         self.stats.counter("kernels_completed").add()
+        if self.observer is not None:
+            self.observer.on_kernel_finished(entry.launch)
         # Notify the host process and the command dispatcher first (the
         # stream that issued this kernel may immediately issue its next
         # command), then let the policy react to the freed resources.

@@ -63,6 +63,11 @@ class StreamingMultiprocessor:
         self._resident: Dict[tuple[int, int], ThreadBlock] = {}
         self._completion_events: Dict[tuple[int, int], EventHandle] = {}
 
+        #: Optional instrumentation sink (see :mod:`repro.validation`).
+        #: Observers are notified of block start/completion/eviction and SM
+        #: configure/release; they must never mutate simulation state.
+        self.observer: Optional[object] = None
+
         self.utilization = UtilizationTracker(simulator.now)
         self.blocks_executed = 0
         self.blocks_preempted = 0
@@ -95,6 +100,8 @@ class StreamingMultiprocessor:
         self.shared_memory_config = shared_memory_config
         self.state = SMState.RUNNING
         self.setups += 1
+        if self.observer is not None:
+            self.observer.on_sm_configured(self)
 
     def release(self) -> None:
         """Clear the SM's kernel/context registers and return it to IDLE."""
@@ -106,6 +113,8 @@ class StreamingMultiprocessor:
         self.max_resident_blocks = 0
         self.state = SMState.IDLE
         self.utilization.set_idle(self._sim.now)
+        if self.observer is not None:
+            self.observer.on_sm_released(self)
 
     # ------------------------------------------------------------------
     # Thread-block execution
@@ -151,6 +160,8 @@ class StreamingMultiprocessor:
         block.start(self.sm_id, now)
         self._resident[block.key] = block
         self.utilization.set_busy(now)
+        if self.observer is not None:
+            self.observer.on_block_started(self, block)
 
         def _complete(blk: ThreadBlock = block) -> None:
             self._finish_block(blk, on_complete)
@@ -170,6 +181,8 @@ class StreamingMultiprocessor:
         self.blocks_executed += 1
         if not self._resident:
             self.utilization.set_idle(self._sim.now)
+        if self.observer is not None:
+            self.observer.on_block_completed(self, block)
         on_complete(block)
 
     def evict_all(self) -> list[ThreadBlock]:
@@ -194,6 +207,8 @@ class StreamingMultiprocessor:
             self.preemptions += 1
         if not self._resident:
             self.utilization.set_idle(now)
+        if evicted and self.observer is not None:
+            self.observer.on_blocks_evicted(self, evicted)
         return evicted
 
     # ------------------------------------------------------------------

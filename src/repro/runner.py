@@ -84,7 +84,19 @@ class RunRecord:
             "engine_stats": dict(self.result.engine_stats),
             "simulated_time_us": self.result.simulated_time_us,
             "events_processed": self.result.events_processed,
+            "validated": self.result.validated,
+            "violations": [dict(violation) for violation in self.result.violations],
         }
+
+    @property
+    def violations(self) -> List[Dict[str, Any]]:
+        """Invariant violations detected during the run (see :mod:`repro.validation`)."""
+        return list(self.result.violations)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run recorded no invariant violations."""
+        return not self.result.violations
 
     def to_json(self) -> str:
         """JSON form."""

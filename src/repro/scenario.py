@@ -246,6 +246,11 @@ class ScenarioSpec:
     #: Priority values given to the high-priority / remaining processes.
     high_priority: int = HIGH_PRIORITY
     normal_priority: int = NORMAL_PRIORITY
+    #: Attach the runtime invariant-validation layer (:mod:`repro.validation`)
+    #: to the run.  Checkers observe, never perturb: results are byte-identical
+    #: with and without validation; detected violations are surfaced through
+    #: :class:`repro.runner.RunRecord`.
+    validate: bool = False
 
     __hash__ = None  # type: ignore[assignment]
 
@@ -343,6 +348,7 @@ class ScenarioSpec:
             "start_stagger_us": self.start_stagger_us,
             "high_priority": self.high_priority,
             "normal_priority": self.normal_priority,
+            "validate": self.validate,
         }
 
     @classmethod

@@ -40,6 +40,11 @@ class Simulator:
         self._heap: list[Event] = []
         self._running = False
         self._stopped = False
+        #: Exact number of non-cancelled events in the heap; kept so that
+        #: :attr:`pending_events` is O(1) (it is queried inside the validation
+        #: layer's assertion loops).
+        self._live_events = 0
+        self._observers: list = []
         self.events_processed = 0
         self.events_scheduled = 0
         self.events_cancelled = 0
@@ -87,15 +92,41 @@ class Simulator:
                 f"cannot schedule an event at t={time} before current time t={self._now}"
             )
         event = make_event(time, callback, priority=priority, label=label)
+        event.on_cancelled = self._note_cancellation
         heapq.heappush(self._heap, event)
+        self._live_events += 1
         self.events_scheduled += 1
+        if self._observers:
+            for observer in self._observers:
+                observer.on_event_scheduled(event, self._now)
         return EventHandle(event)
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a previously scheduled event (idempotent)."""
-        if not handle.cancelled:
-            handle.cancel()
-            self.events_cancelled += 1
+        handle.cancel()
+
+    def _note_cancellation(self) -> None:
+        """Cancellation bookkeeping (fires once per cancelled live event)."""
+        self._live_events -= 1
+        self.events_cancelled += 1
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def add_observer(self, observer) -> None:
+        """Attach an observer notified of event scheduling and firing.
+
+        Observers expose ``on_event_scheduled(event, now)`` and
+        ``on_event_fired(event, previous_now)``.  They must only *observe*:
+        the validation layer relies on observers never perturbing simulation
+        state, so that runs are byte-identical with and without them.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Detach a previously attached observer (idempotent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     # ------------------------------------------------------------------
     # Execution
@@ -112,8 +143,15 @@ class Simulator:
                 continue
             if event.time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event heap yielded an event from the past")
+            previous_now = self._now
+            # The event left the heap: late cancels must not touch the count.
+            event.on_cancelled = None
+            self._live_events -= 1
             self._now = event.time
             self.events_processed += 1
+            if self._observers:
+                for observer in self._observers:
+                    observer.on_event_fired(event, previous_now)
             event.callback()
             return True
         return False
@@ -126,7 +164,10 @@ class Simulator:
         until:
             Optional absolute time bound.  Events scheduled strictly after
             ``until`` are left in the queue and the clock is advanced to
-            ``until``.
+            ``until`` — on every exit path, including :meth:`stop`.  If a
+            stopped run leaves events scheduled *before* ``until`` pending,
+            the clock only advances to the earliest of them, so the run can
+            be resumed without firing events in the past.
         max_events:
             Optional safety bound on the number of events to process; mostly
             useful in tests to catch livelocks.
@@ -137,21 +178,29 @@ class Simulator:
         try:
             while self._heap:
                 if self._stopped:
-                    return
+                    break
                 next_event = self._peek()
                 if next_event is None:
                     break
                 if until is not None and next_event.time > until:
-                    self._now = max(self._now, until)
-                    return
+                    break
                 if max_events is not None and processed >= max_events:
                     raise SimulationError(
                         f"simulation exceeded max_events={max_events}; possible livelock"
                     )
                 if self.step():
                     processed += 1
+            # One consistent clamp for every exit path (drained, reached
+            # ``until``, or stopped): the clock advances to ``until``, but
+            # never past a still-pending event (a stopped run may leave
+            # events before ``until`` in the queue, and jumping over them
+            # would break the no-events-in-the-past invariant on resume).
             if until is not None:
-                self._now = max(self._now, until)
+                bound = until
+                next_event = self._peek()
+                if next_event is not None and next_event.time < bound:
+                    bound = next_event.time
+                self._now = max(self._now, bound)
         finally:
             self._running = False
 
@@ -170,8 +219,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return self._live_events
 
     def pending_labels(self) -> Iterable[str]:
         """Labels of pending events (debugging aid for tests)."""

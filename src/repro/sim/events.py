@@ -47,10 +47,20 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
+    #: Invoked exactly once when a still-pending event is cancelled.  The
+    #: owning simulator uses it to keep its live-event count exact even when
+    #: handles are cancelled directly (without going through
+    #: :meth:`repro.sim.engine.Simulator.cancel`).
+    on_cancelled: Callable[[], None] | None = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when it is popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancelled is not None:
+            notify, self.on_cancelled = self.on_cancelled, None
+            notify()
 
 
 class EventHandle:

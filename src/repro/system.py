@@ -50,6 +50,7 @@ class GPUSystem:
         mechanism: Union[str, PreemptionMechanism] = "context_switch",
         transfer_policy: Union[str, TransferSchedulingPolicy] = TransferSchedulingPolicy.FCFS,
         policy_options: Optional[Dict] = None,
+        validate: bool = False,
     ):
         self.config = config if config is not None else SystemConfig()
         self.simulator = Simulator()
@@ -96,6 +97,13 @@ class GPUSystem:
         #: Minimum completed iterations per process before :meth:`run` with
         #: ``stop_after_min_iterations`` halts the simulation.
         self._min_iterations: Optional[int] = None
+        #: Runtime invariant-validation hub (``None`` unless ``validate=True``).
+        self.validation = None
+        if validate:
+            from repro.validation import make_hub  # local: keeps import cheap
+
+            self.validation = make_hub()
+            self.validation.attach(self)
 
     # ------------------------------------------------------------------
     # Declarative construction
@@ -122,16 +130,18 @@ class GPUSystem:
             Pre-scaled :class:`SystemConfig` to use instead of the scenario's
             (``scale.scale_config(scenario.system_config())``).
         suite:
-            :class:`~repro.workloads.parboil.ParboilSuite` supplying the
-            application traces (default: a suite at the scenario's scale).
+            Benchmark suite supplying the application traces (default: a
+            :class:`~repro.workloads.synthetic.SyntheticSuite` at the
+            scenario's scale, which resolves both Parboil names and
+            seed-derived ``syn-*`` applications).
         """
-        from repro.workloads.parboil import ParboilSuite  # local: avoids cycle
+        from repro.workloads.synthetic import SyntheticSuite  # local: avoids cycle
 
         scale = scenario.workload_scale()
         if config is None:
             config = scale.scale_config(scenario.system_config())
         if suite is None:
-            suite = ParboilSuite(scale)
+            suite = SyntheticSuite(scale)
 
         scheme = scenario.scheme
         options = dict(scheme.policy_options)
@@ -145,6 +155,7 @@ class GPUSystem:
             mechanism=scheme.mechanism,
             transfer_policy=scheme.transfer_policy,
             policy_options=options or None,
+            validate=scenario.validate,
         )
         for slot, (app, process_name) in enumerate(
             zip(scenario.applications, scenario.process_names())
@@ -238,6 +249,8 @@ class GPUSystem:
             if not process._started:  # noqa: SLF001 - intentional internal check
                 process.start()
         self.simulator.run(until=until_us, max_events=max_events)
+        if self.validation is not None:
+            self.validation.finalize()
 
     def _on_iteration_complete(self, process: HostProcess, record: IterationRecord) -> None:
         if self._min_iterations is None:
@@ -250,6 +263,10 @@ class GPUSystem:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def violations(self) -> List[Dict]:
+        """Recorded invariant violations (empty list when validation is off)."""
+        return self.validation.to_dicts() if self.validation is not None else []
+
     def iteration_times_us(self) -> Dict[str, List[float]]:
         """Completed-iteration durations per process."""
         return {

@@ -9,6 +9,9 @@
 * :mod:`repro.workloads.scale` — the reduced-scale presets used to keep
   Python simulation times tractable (documented substitution, DESIGN.md
   Sec. 3.6).
+* :mod:`repro.workloads.synthetic` — the seeded scenario fuzzer: arbitrary
+  multiprogram mixes (grid sizes, footprints, phase balance, arrivals,
+  priorities, process counts) derived from a single integer seed.
 """
 
 from repro.workloads.multiprogram import (
@@ -27,8 +30,18 @@ from repro.workloads.parboil import (
     TABLE1_RECORDS,
 )
 from repro.workloads.scale import WorkloadScale
+from repro.workloads.synthetic import (
+    SyntheticSuite,
+    build_synthetic_trace,
+    generate_synthetic_scenario,
+    generate_synthetic_scenarios,
+)
 
 __all__ = [
+    "SyntheticSuite",
+    "build_synthetic_trace",
+    "generate_synthetic_scenario",
+    "generate_synthetic_scenarios",
     "KernelRecord",
     "TABLE1_RECORDS",
     "BENCHMARK_NAMES",

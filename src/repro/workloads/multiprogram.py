@@ -212,6 +212,11 @@ class WorkloadResult:
     engine_stats: Dict[str, float] = field(default_factory=dict)
     simulated_time_us: float = 0.0
     events_processed: int = 0
+    #: Whether the runtime invariant-validation layer observed the run.
+    validated: bool = False
+    #: Invariant violations detected during the run (see
+    #: :mod:`repro.validation`); always empty for a correct simulator.
+    violations: List[Dict] = field(default_factory=list)
 
     @property
     def high_priority_process(self) -> Optional[str]:
@@ -233,14 +238,18 @@ class WorkloadRunner:
 
     def __init__(
         self,
-        suite: Optional[ParboilSuite] = None,
+        suite=None,
         *,
         scale: Optional[WorkloadScale] = None,
         config: Optional[SystemConfig] = None,
         max_events: int = DEFAULT_MAX_EVENTS,
     ):
+        from repro.workloads.synthetic import SyntheticSuite  # local: avoids cycle
+
         self.scale = scale if scale is not None else WorkloadScale.reduced()
-        self.suite = suite if suite is not None else ParboilSuite(self.scale)
+        #: Benchmark suite; the default resolves Parboil names and synthetic
+        #: ``syn-*`` applications alike (see :mod:`repro.workloads.synthetic`).
+        self.suite = suite if suite is not None else SyntheticSuite(self.scale)
         #: Unscaled configuration, kept for scenario serialisation.
         self._base_config = config if config is not None else SystemConfig()
         #: Fixed host/PCIe latencies are scaled together with the workload so
@@ -366,6 +375,8 @@ class WorkloadRunner:
             engine_stats=system.execution_engine.utilization_snapshot(),
             simulated_time_us=system.simulator.now,
             events_processed=system.simulator.events_processed,
+            validated=system.validation is not None,
+            violations=system.violations(),
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,346 @@
+"""Seeded synthetic workload generation (the scenario fuzzer).
+
+The paper evaluates fixed Parboil mixes; the ROADMAP's north star is "as many
+scenarios as you can imagine".  This module derives *arbitrary* multiprogram
+scenarios from a single integer seed, entirely through
+:mod:`repro.utils.determinism` (no global RNG state), so that:
+
+* the same seed always produces byte-identical
+  :class:`~repro.scenario.ScenarioSpec` JSON, on every platform and process
+  (the fuzzer's reproducibility contract), and
+* every generated dimension is randomised: kernel grid sizes, per-block
+  register / shared-memory / thread footprints, CPU-vs-transfer phase
+  balance, kernel launch counts, process counts, arrival staggers,
+  priorities and the scheduling scheme itself.
+
+Synthetic applications are first-class citizens of the declarative API:
+their names encode their derivation (``syn-<seed>-<index>``), so a
+:class:`SyntheticSuite` can rebuild the exact trace from the name alone in
+any worker process — scenarios fan out through
+:class:`repro.runner.BatchRunner` exactly like Parboil ones, and the two can
+be mixed in a single workload.  Combined with ``validate=True`` (the
+:mod:`repro.validation` layer) this turns every imagined scenario into a
+self-checking test of the simulator's conservation laws:
+
+>>> from repro.workloads.synthetic import generate_synthetic_scenario
+>>> from repro.runner import execute_scenario
+>>> spec = generate_synthetic_scenario(7, scale="smoke", validate=True)
+>>> record = execute_scenario(spec)
+>>> record.ok
+True
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.scenario import ScenarioSpec, SchemeSpec
+from repro.trace.generator import KernelPhase, TraceGenerator
+from repro.trace.schema import ApplicationTrace
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.resources import ResourceUsage
+from repro.utils.determinism import hash_uniform
+from repro.workloads.parboil import ParboilSuite
+from repro.workloads.scale import WorkloadScale
+
+KIB = 1024
+MIB = 1024 * KIB
+
+#: Application-name prefix marking synthetic (seed-derived) applications.
+SYNTHETIC_PREFIX = "syn"
+_NAME_RE = re.compile(r"^syn-(\d+)-(\d+)$")
+
+#: Policy / mechanism / transfer-policy pools the scenario fuzzer draws from.
+#: Registry names — extend these to fuzz custom components too.
+SCHEME_POLICIES: Tuple[str, ...] = ("fcfs", "npq", "ppq", "ppq_shared", "dss")
+SCHEME_MECHANISMS: Tuple[str, ...] = ("context_switch", "draining")
+SCHEME_TRANSFER_POLICIES: Tuple[str, ...] = ("fcfs", "npq")
+
+#: Namespace component so synthetic draws never collide with other users of
+#: :func:`repro.utils.determinism.hash_uniform`.
+_NS = "repro.synthetic"
+
+
+def _u(seed: int, *key) -> float:
+    """Deterministic uniform sample in [0, 1) for (seed, key)."""
+    return hash_uniform(_NS, seed, *key)
+
+
+def _int_between(lo: int, hi: int, seed: int, *key) -> int:
+    """Deterministic integer in [lo, hi] (inclusive)."""
+    if hi < lo:
+        raise ValueError("hi must be >= lo")
+    return lo + min(hi - lo, int(_u(seed, *key) * (hi - lo + 1)))
+
+
+def _pick(options: Sequence, seed: int, *key):
+    """Deterministic choice from a non-empty sequence."""
+    return options[_int_between(0, len(options) - 1, seed, *key)]
+
+
+# ----------------------------------------------------------------------
+# Application names
+# ----------------------------------------------------------------------
+def synthetic_app_name(seed: int, index: int) -> str:
+    """The canonical name of synthetic application ``index`` of ``seed``."""
+    if seed < 0 or index < 0:
+        raise ValueError("seed and index must be non-negative")
+    return f"{SYNTHETIC_PREFIX}-{seed}-{index}"
+
+
+def is_synthetic_app(name: str) -> bool:
+    """Whether ``name`` denotes a synthetic (seed-derived) application."""
+    return bool(_NAME_RE.match(name))
+
+
+def parse_synthetic_app(name: str) -> Tuple[int, int]:
+    """Recover ``(seed, index)`` from a synthetic application name."""
+    match = _NAME_RE.match(name)
+    if match is None:
+        raise ValueError(f"not a synthetic application name: {name!r}")
+    return int(match.group(1)), int(match.group(2))
+
+
+# ----------------------------------------------------------------------
+# Trace synthesis
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SyntheticAppParams:
+    """The derived shape of one synthetic application (pre-scaling)."""
+
+    seed: int
+    index: int
+    #: One spec per kernel; each carries its own ``launches_per_run``.
+    kernels: Tuple[KernelSpec, ...]
+    per_launch_cpu_us: Tuple[float, ...]
+    setup_cpu_us: float
+    teardown_cpu_us: float
+    input_bytes: int
+    output_bytes: int
+
+    @property
+    def name(self) -> str:
+        """The application's canonical synthetic name."""
+        return synthetic_app_name(self.seed, self.index)
+
+
+def derive_app_params(seed: int, index: int) -> SyntheticAppParams:
+    """Derive the full-scale shape of application ``(seed, index)``.
+
+    Every quantity is a pure function of the seed and index.  Ranges are
+    chosen so a single thread block always fits on an SM (the generated
+    kernels are *valid*, arbitrarily-shaped programs, not garbage) while
+    spanning occupancies from 1 to 16 blocks per SM, register- and
+    shared-memory-limited kernels, and CPU- or transfer-heavy phase mixes.
+    """
+    num_kernels = _int_between(1, 3, seed, index, "num_kernels")
+    kernels: List[KernelSpec] = []
+    per_launch_cpu: List[float] = []
+    for k in range(num_kernels):
+        blocks = _int_between(16, 192, seed, index, k, "blocks")
+        tb_time = 0.8 + _u(seed, index, k, "tb_time") * 23.2  # 0.8 .. 24.0 µs
+        registers = _int_between(1024, 24576, seed, index, k, "regs")
+        if _u(seed, index, k, "smem?") < 0.6:
+            shared = 0
+        else:
+            shared = _int_between(1, 128, seed, index, k, "smem") * 256  # ≤ 32 KiB
+        threads = _pick((64, 128, 256, 512), seed, index, k, "threads")
+        kernels.append(
+            KernelSpec(
+                name=f"k{k}",
+                benchmark=synthetic_app_name(seed, index),
+                num_thread_blocks=blocks,
+                avg_tb_time_us=round(tb_time, 3),
+                usage=ResourceUsage(
+                    registers_per_block=registers,
+                    shared_memory_per_block=shared,
+                    threads_per_block=threads,
+                ),
+                launches_per_run=_int_between(1, 4, seed, index, k, "launches"),
+            )
+        )
+        per_launch_cpu.append(round(1.0 + _u(seed, index, k, "cpu") * 79.0, 3))
+
+    return SyntheticAppParams(
+        seed=seed,
+        index=index,
+        kernels=tuple(kernels),
+        per_launch_cpu_us=tuple(per_launch_cpu),
+        setup_cpu_us=round(20.0 + _u(seed, index, "setup_cpu") * 1980.0, 3),
+        teardown_cpu_us=round(10.0 + _u(seed, index, "teardown_cpu") * 790.0, 3),
+        input_bytes=_int_between(64, 4096, seed, index, "input") * KIB,
+        output_bytes=_int_between(32, 2048, seed, index, "output") * KIB,
+    )
+
+
+def build_synthetic_trace(
+    name: str, scale: Optional[WorkloadScale] = None
+) -> ApplicationTrace:
+    """Build the application trace of a synthetic app at the given scale.
+
+    Scaling follows the Parboil models: thread-block counts scale with
+    ``tb_scale``, launch counts with ``launch_scale``, and host-side time and
+    transfer sizes with their product, so the compute/transfer balance of the
+    application is preserved across scales.
+    """
+    seed, index = parse_synthetic_app(name)
+    params = derive_app_params(seed, index)
+    scale = scale if scale is not None else WorkloadScale.full()
+    host_scale = scale.host_scale
+
+    phases = []
+    for spec, cpu_us in zip(params.kernels, params.per_launch_cpu_us):
+        scaled_spec = spec.scaled(scale.tb_scale)
+        phases.append(
+            KernelPhase(
+                kernel=scaled_spec,
+                launches=max(1, round(spec.launches_per_run * scale.launch_scale)),
+                cpu_time_us=max(0.5, cpu_us * scale.tb_scale),
+            )
+        )
+    return TraceGenerator().build(
+        name,
+        phases=phases,
+        input_bytes=max(4 * KIB, int(params.input_bytes * host_scale)),
+        output_bytes=max(4 * KIB, int(params.output_bytes * host_scale)),
+        setup_cpu_time_us=max(1.0, params.setup_cpu_us * host_scale),
+        teardown_cpu_time_us=max(1.0, params.teardown_cpu_us * host_scale),
+    )
+
+
+class SyntheticSuite:
+    """A benchmark suite resolving synthetic *and* Parboil application names.
+
+    ``syn-<seed>-<index>`` names are rebuilt deterministically from the name
+    alone; every other name is delegated to a fallback suite (default: the
+    :class:`~repro.workloads.parboil.ParboilSuite` at the same scale).  This
+    is the default suite of :meth:`repro.system.GPUSystem.from_scenario` and
+    :class:`~repro.workloads.multiprogram.WorkloadRunner`, so scenarios can
+    freely mix synthetic and Parboil applications.
+    """
+
+    def __init__(self, scale: Optional[WorkloadScale] = None, *, fallback=None):
+        self.scale = scale if scale is not None else WorkloadScale.full()
+        self._fallback = fallback if fallback is not None else ParboilSuite(self.scale)
+        self._trace_cache: dict[str, ApplicationTrace] = {}
+
+    def names(self) -> Sequence[str]:
+        """The fallback suite's names (the synthetic namespace is open-ended)."""
+        return self._fallback.names()
+
+    def trace(self, name: str) -> ApplicationTrace:
+        """The (cached) trace of ``name`` at the suite's scale."""
+        if is_synthetic_app(name):
+            if name not in self._trace_cache:
+                self._trace_cache[name] = build_synthetic_trace(name, self.scale)
+            return self._trace_cache[name]
+        return self._fallback.trace(name)
+
+
+# ----------------------------------------------------------------------
+# Scenario generation
+# ----------------------------------------------------------------------
+def generate_synthetic_scheme(seed: int) -> SchemeSpec:
+    """Derive a scheduling scheme (policy × mechanism × transfer) from a seed."""
+    policy = _pick(SCHEME_POLICIES, seed, "policy")
+    mechanism = _pick(SCHEME_MECHANISMS, seed, "mechanism")
+    transfer = _pick(SCHEME_TRANSFER_POLICIES, seed, "transfer")
+    return SchemeSpec(
+        policy=policy,
+        mechanism=mechanism,
+        transfer_policy=transfer,
+        name=f"{policy}_{mechanism}",
+    )
+
+
+def generate_synthetic_scenario(
+    seed: int,
+    *,
+    scale: str = "smoke",
+    validate: bool = False,
+    scheme: Optional[SchemeSpec] = None,
+    min_processes: int = 2,
+    max_processes: int = 5,
+) -> ScenarioSpec:
+    """Derive one complete multiprogram scenario from an integer seed.
+
+    The process count, per-process applications, high-priority slot, priority
+    values, arrival stagger and (unless overridden) the scheduling scheme are
+    all seed-derived; the same seed always yields byte-identical spec JSON.
+    """
+    if seed < 0:
+        raise ValueError("seed must be non-negative")
+    if not 1 <= min_processes <= max_processes:
+        raise ValueError("need 1 <= min_processes <= max_processes")
+    num_processes = _int_between(min_processes, max_processes, seed, "num_processes")
+    applications = tuple(synthetic_app_name(seed, i) for i in range(num_processes))
+    if num_processes >= 2 and _u(seed, "priority?") < 0.5:
+        high_priority_index: Optional[int] = _int_between(
+            0, num_processes - 1, seed, "hp_index"
+        )
+        high_priority = _int_between(1, 10, seed, "hp_value")
+    else:
+        high_priority_index = None
+        high_priority = 10
+    return ScenarioSpec(
+        scheme=scheme if scheme is not None else generate_synthetic_scheme(seed),
+        applications=applications,
+        high_priority_index=high_priority_index,
+        workload_id=seed,
+        scale=scale,
+        min_iterations=_int_between(1, 2, seed, "min_iterations"),
+        start_stagger_us=round(_u(seed, "stagger") * 25.0, 3),
+        high_priority=high_priority,
+        validate=validate,
+    )
+
+
+def generate_synthetic_scenarios(
+    count: int,
+    *,
+    seed: int = 2014,
+    scale: str = "smoke",
+    validate: bool = False,
+    scheme: Optional[SchemeSpec] = None,
+    min_processes: int = 2,
+    max_processes: int = 5,
+) -> List[ScenarioSpec]:
+    """Derive ``count`` scenarios from consecutive sub-seeds of ``seed``.
+
+    Sub-seed ``i`` is ``seed * 1000 + i`` so the batches for nearby base
+    seeds stay disjoint; each scenario remains individually reproducible
+    from its own ``workload_id``.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    return [
+        generate_synthetic_scenario(
+            seed * 1000 + i,
+            scale=scale,
+            validate=validate,
+            scheme=scheme,
+            min_processes=min_processes,
+            max_processes=max_processes,
+        )
+        for i in range(count)
+    ]
+
+
+__all__ = [
+    "SYNTHETIC_PREFIX",
+    "SCHEME_POLICIES",
+    "SCHEME_MECHANISMS",
+    "SCHEME_TRANSFER_POLICIES",
+    "SyntheticAppParams",
+    "SyntheticSuite",
+    "synthetic_app_name",
+    "is_synthetic_app",
+    "parse_synthetic_app",
+    "derive_app_params",
+    "build_synthetic_trace",
+    "generate_synthetic_scheme",
+    "generate_synthetic_scenario",
+    "generate_synthetic_scenarios",
+]

@@ -14,7 +14,8 @@ def test_parser_knows_every_experiment():
     args = parser.parse_args(["table1", "table2"])
     assert args.experiments == ["table1", "table2"]
     assert set(EXPERIMENTS) == {
-        "table1", "table2", "figure2", "figure5", "figure6", "figure7", "figure8"
+        "table1", "table2", "figure2", "figure5", "figure6", "figure7", "figure8",
+        "synthetic",
     }
 
 
@@ -27,6 +28,45 @@ def test_make_config_applies_overrides():
     assert config.process_counts == (2, 4)
     assert config.workloads_per_count == 3
     assert config.seed == 7
+
+
+def test_make_config_applies_validate():
+    parser = build_parser()
+    assert make_config(parser.parse_args(["synthetic", "--validate"])).validate is True
+    assert make_config(parser.parse_args(["synthetic"])).validate is False
+
+
+def test_main_runs_synthetic_experiment_with_validation(capsys):
+    exit_code = main(
+        ["synthetic", "--scale", "smoke", "--workloads", "2", "--seed", "7", "--validate"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "Synthetic" in out
+    assert "0 violation(s) across 2 runs" in out
+
+
+def test_main_exits_nonzero_when_violations_detected(capsys, monkeypatch):
+    import repro.validation as validation_module
+    from repro.validation import InvariantChecker, ValidationHub
+
+    class AlwaysFiring(InvariantChecker):
+        name = "always_firing"
+
+        def finalize(self, system) -> None:
+            self.record("forced", "corrupted checker fixture")
+
+    monkeypatch.setattr(
+        validation_module, "make_hub", lambda: ValidationHub([AlwaysFiring()])
+    )
+    exit_code = main(
+        ["synthetic", "--scale", "smoke", "--workloads", "1", "--seed", "3", "--validate"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "invariant violation(s) detected" in captured.err
+    # stdout still renders the table; only stderr/exit code carry the failure.
+    assert "Synthetic" in captured.out
 
 
 def test_main_runs_table_experiments(capsys, tmp_path):

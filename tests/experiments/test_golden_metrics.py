@@ -1,0 +1,88 @@
+"""Golden-metrics regression tests for the priority experiments.
+
+The per-scheme summary numbers of Figure 5 and Figure 6 at a fixed smoke
+configuration are frozen into ``tests/golden/``.  The simulation is fully
+deterministic, so these must match *exactly*: any hot-path refactor that
+silently drifts results (event ordering, float accumulation order, policy
+tie-breaking) fails here instead of shipping skewed figures.
+
+To regenerate after an *intentional* modelling change, run this module's
+``regenerate()`` helper and commit the updated fixtures together with an
+explanation of the drift.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import figure5, figure6, priority_data
+from repro.experiments.base import ExperimentConfig
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+
+#: The frozen configuration: small enough for CI, large enough to exercise
+#: every scheme (including the shared-access PPQ variants of Figure 6).
+GOLDEN_CONFIG = ExperimentConfig(
+    scale="smoke",
+    process_counts=(2,),
+    workloads_per_benchmark=1,
+    seed=2014,
+    benchmarks=("lbm", "spmv", "sad"),
+)
+
+FIGURES = {"figure5": figure5, "figure6": figure6}
+
+
+def _compute(name: str):
+    data = priority_data.collect(
+        GOLDEN_CONFIG, schemes=tuple(priority_data.PRIORITY_SCHEMES)
+    )
+    result = FIGURES[name].run(GOLDEN_CONFIG, data=data)
+    return {"headers": list(result.headers), "rows": [list(row) for row in result.rows]}
+
+
+@pytest.fixture(scope="module")
+def shared_data():
+    """One collect() shared by both figures (the expensive part)."""
+    return priority_data.collect(
+        GOLDEN_CONFIG, schemes=tuple(priority_data.PRIORITY_SCHEMES)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_figure_summaries_match_golden_fixtures(name, shared_data):
+    result = FIGURES[name].run(GOLDEN_CONFIG, data=shared_data)
+    computed = {
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+    }
+    fixture_path = GOLDEN_DIR / f"{name}_smoke.json"
+    golden = json.loads(fixture_path.read_text())
+    # Round-trip the computed values through JSON so the comparison uses the
+    # exact representation stored in the fixture (e.g. tuples -> lists).
+    assert json.loads(json.dumps(computed)) == golden, (
+        f"{name} summary drifted from {fixture_path}; if the modelling change "
+        "is intentional, regenerate the fixture (see module docstring)"
+    )
+
+
+def test_golden_fixtures_have_rows():
+    for name in FIGURES:
+        golden = json.loads((GOLDEN_DIR / f"{name}_smoke.json").read_text())
+        assert golden["rows"], f"{name} fixture is empty"
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Rewrite the golden fixtures from the current simulator output."""
+    for name in FIGURES:
+        payload = _compute(name)
+        path = GOLDEN_DIR / f"{name}_smoke.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"regenerated {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

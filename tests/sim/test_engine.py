@@ -148,6 +148,115 @@ def test_pending_labels(simulator):
     assert list(simulator.pending_labels()) == ["first", "second"]
 
 
+def test_run_until_clamps_clock_when_stopped(simulator):
+    """Regression: stop() used to skip the until-clamp, leaving now < until."""
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        simulator.stop()
+
+    simulator.schedule(1.0, stopper)
+    simulator.schedule(7.0, lambda: fired.append("after"))
+    simulator.run(until=5.0)
+    assert fired == ["stop"]
+    assert simulator.now == 5.0
+    # The event beyond ``until`` is still pending and fires on the next run.
+    simulator.run()
+    assert fired == ["stop", "after"]
+    assert simulator.now == 7.0
+
+
+def test_run_until_clamp_never_jumps_over_pending_events(simulator):
+    """A stopped run with events before ``until`` stays resumable."""
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        simulator.stop()
+
+    simulator.schedule(1.0, stopper)
+    simulator.schedule(2.0, lambda: fired.append("after"))
+    simulator.run(until=5.0)
+    # The pending event at t=2 caps the clamp: jumping to 5 would make it
+    # fire in the past on resume.
+    assert simulator.now == 2.0
+    simulator.run(until=5.0)
+    assert fired == ["stop", "after"]
+    assert simulator.now == 5.0
+
+
+def test_run_until_clamps_when_stopped_with_empty_queue(simulator):
+    simulator.schedule(1.0, simulator.stop)
+    simulator.run(until=5.0)
+    assert simulator.now == 5.0
+
+
+def test_run_without_until_keeps_clock_at_stop_time(simulator):
+    simulator.schedule(1.0, simulator.stop)
+    simulator.schedule(2.0, lambda: None)
+    simulator.run()
+    assert simulator.now == 1.0
+
+
+def test_pending_events_tracks_direct_handle_cancellation(simulator):
+    """pending_events is a live counter: direct handle.cancel() must update it."""
+    handles = [simulator.schedule(float(i + 1), lambda: None) for i in range(4)]
+    assert simulator.pending_events == 4
+    handles[0].cancel()  # direct cancel, bypassing Simulator.cancel
+    simulator.cancel(handles[1])
+    assert simulator.pending_events == 2
+    assert simulator.events_cancelled == 2
+    handles[1].cancel()  # idempotent: no double counting
+    assert simulator.pending_events == 2
+    assert simulator.events_cancelled == 2
+    simulator.run()
+    assert simulator.pending_events == 0
+    assert simulator.events_processed == 2
+
+
+def test_pending_events_matches_heap_scan(simulator):
+    """The O(1) counter agrees with a full heap scan at every step."""
+    handles = [simulator.schedule(float(i % 7) + 1.0, lambda: None) for i in range(30)]
+    for handle in handles[::3]:
+        handle.cancel()
+    while True:
+        scan = sum(1 for event in simulator._heap if not event.cancelled)
+        assert simulator.pending_events == scan
+        if not simulator.step():
+            break
+    assert simulator.pending_events == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_pending_count(simulator):
+    handle = simulator.schedule(1.0, lambda: None)
+    simulator.schedule(2.0, lambda: None)
+    simulator.run(until=1.5)
+    handle.cancel()  # event already fired: must not decrement the live count
+    assert simulator.pending_events == 1
+
+
+def test_observers_see_scheduling_and_firing(simulator):
+    seen = []
+
+    class Recorder:
+        def on_event_scheduled(self, event, now):
+            seen.append(("scheduled", event.time, now))
+
+        def on_event_fired(self, event, previous_now):
+            seen.append(("fired", event.time, previous_now))
+
+    recorder = Recorder()
+    simulator.add_observer(recorder)
+    simulator.schedule(2.0, lambda: None)
+    simulator.run()
+    assert seen == [("scheduled", 2.0, 0.0), ("fired", 2.0, 0.0)]
+    simulator.remove_observer(recorder)
+    simulator.schedule(3.0, lambda: None)
+    simulator.run()
+    assert len(seen) == 2
+
+
 def test_events_scheduled_during_run_are_processed(simulator):
     fired = []
 

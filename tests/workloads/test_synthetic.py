@@ -1,0 +1,143 @@
+"""Unit tests for the seeded synthetic workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import execute_scenario
+from repro.scenario import ScenarioSpec, SchemeSpec
+from repro.system import GPUSystem
+from repro.workloads.scale import WorkloadScale
+from repro.workloads.synthetic import (
+    SyntheticSuite,
+    build_synthetic_trace,
+    derive_app_params,
+    generate_synthetic_scenario,
+    generate_synthetic_scenarios,
+    is_synthetic_app,
+    parse_synthetic_app,
+    synthetic_app_name,
+)
+
+
+class TestNames:
+    def test_round_trip(self):
+        name = synthetic_app_name(42, 3)
+        assert name == "syn-42-3"
+        assert is_synthetic_app(name)
+        assert parse_synthetic_app(name) == (42, 3)
+
+    def test_non_synthetic_names_rejected(self):
+        for name in ("lbm", "syn", "syn-1", "syn-a-b", "syn-1-2-3", "SYN-1-2"):
+            assert not is_synthetic_app(name)
+        with pytest.raises(ValueError, match="not a synthetic application name"):
+            parse_synthetic_app("lbm")
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_app_name(-1, 0)
+
+
+class TestDerivation:
+    def test_params_are_deterministic(self):
+        assert derive_app_params(5, 0) == derive_app_params(5, 0)
+        assert derive_app_params(5, 0) != derive_app_params(5, 1)
+        assert derive_app_params(5, 0) != derive_app_params(6, 0)
+
+    def test_kernels_are_valid_and_diverse(self):
+        seen_shared = False
+        for seed in range(20):
+            params = derive_app_params(seed, 0)
+            assert 1 <= len(params.kernels) <= 3
+            for spec in params.kernels:
+                assert 16 <= spec.num_thread_blocks <= 192
+                assert 0.8 <= spec.avg_tb_time_us <= 24.0
+                assert 1024 <= spec.usage.registers_per_block <= 24576
+                assert 0 <= spec.usage.shared_memory_per_block <= 32 * 1024
+                assert spec.usage.threads_per_block in (64, 128, 256, 512)
+                seen_shared = seen_shared or spec.usage.shared_memory_per_block > 0
+        assert seen_shared  # the fuzz space includes shared-memory kernels
+
+    def test_trace_scales_like_parboil_models(self):
+        name = synthetic_app_name(9, 0)
+        full = build_synthetic_trace(name, WorkloadScale.full())
+        smoke = build_synthetic_trace(name, WorkloadScale.smoke())
+        assert full.name == smoke.name == name
+        assert smoke.kernel_launch_count <= full.kernel_launch_count
+        assert smoke.total_cpu_time_us < full.total_cpu_time_us
+        assert smoke.total_transfer_bytes <= full.total_transfer_bytes
+        for kernel, spec in smoke.kernels.items():
+            assert spec.num_thread_blocks <= full.kernels[kernel].num_thread_blocks
+
+
+class TestSuite:
+    def test_resolves_synthetic_and_parboil_names(self, smoke_scale):
+        suite = SyntheticSuite(smoke_scale)
+        synthetic = suite.trace(synthetic_app_name(3, 1))
+        assert synthetic.kernel_launch_count >= 1
+        assert suite.trace(synthetic_app_name(3, 1)) is synthetic  # cached
+        parboil = suite.trace("lbm")
+        assert parboil.name == "lbm"
+        assert "lbm" in suite.names()
+
+    def test_unknown_parboil_name_raises(self, smoke_scale):
+        with pytest.raises(KeyError):
+            SyntheticSuite(smoke_scale).trace("nonexistent")
+
+    def test_mixed_parboil_and_synthetic_scenario_runs(self):
+        scenario = ScenarioSpec(
+            scheme=SchemeSpec(policy="ppq", mechanism="draining", transfer_policy="npq"),
+            applications=("lbm", synthetic_app_name(3, 0)),
+            high_priority_index=1,
+            scale="smoke",
+            min_iterations=1,
+            validate=True,
+        )
+        record = execute_scenario(scenario)
+        assert record.ok
+        assert set(record.result.process_applications.values()) == {
+            "lbm",
+            synthetic_app_name(3, 0),
+        }
+
+
+class TestScenarioGeneration:
+    def test_scenarios_stay_within_bounds(self):
+        for seed in range(30):
+            scenario = generate_synthetic_scenario(seed, scale="smoke")
+            assert 2 <= scenario.num_processes <= 5
+            assert 0.0 <= scenario.start_stagger_us <= 25.0
+            assert scenario.min_iterations in (1, 2)
+            assert scenario.workload_id == seed
+            assert all(is_synthetic_app(app) for app in scenario.applications)
+            scenario.scheme.validate()  # registry names resolve
+            if scenario.high_priority_index is not None:
+                assert 0 <= scenario.high_priority_index < scenario.num_processes
+
+    def test_round_trips_through_json(self):
+        scenario = generate_synthetic_scenario(11, scale="smoke", validate=True)
+        assert ScenarioSpec.from_json(scenario.to_json()) == scenario
+
+    def test_batch_generation_uses_disjoint_sub_seeds(self):
+        batch = generate_synthetic_scenarios(5, seed=7, scale="smoke")
+        assert [s.workload_id for s in batch] == [7000, 7001, 7002, 7003, 7004]
+        other = generate_synthetic_scenarios(5, seed=8, scale="smoke")
+        assert {s.workload_id for s in batch}.isdisjoint(
+            {s.workload_id for s in other}
+        )
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            generate_synthetic_scenario(-1)
+        with pytest.raises(ValueError):
+            generate_synthetic_scenario(1, min_processes=3, max_processes=2)
+        with pytest.raises(ValueError):
+            generate_synthetic_scenarios(0)
+
+    def test_from_scenario_builds_synthetic_system(self):
+        scenario = generate_synthetic_scenario(4, scale="smoke", validate=True)
+        system = GPUSystem.from_scenario(scenario)
+        assert len(system.processes) == scenario.num_processes
+        assert system.validation is not None
+        system.run(stop_after_min_iterations=1)
+        assert system.validation.ok
