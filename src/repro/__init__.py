@@ -21,6 +21,9 @@ Typical entry points:
 * :mod:`repro.workloads` — the Parboil benchmark models of the paper's
   Table 1 and the multiprogrammed-workload generator.
 * :mod:`repro.metrics` — the multiprogram metrics (NTT, ANTT, STP, fairness).
+* :mod:`repro.telemetry` — structured simulation tracing
+  (``GPUSystem(trace=True)``), preemption-latency analytics, and timeline
+  exports (Perfetto/Chrome trace JSON, JSONL, ASCII Gantt).
 * :mod:`repro.experiments` — runners that regenerate every table and figure
   of the paper's evaluation (CLI: ``repro-experiments``).
 """
@@ -37,6 +40,7 @@ from repro.registry import (
 from repro.scenario import ScenarioSpec, SchemeSpec
 from repro.system import GPUSystem, run_isolated
 from repro.runner import BatchRunner, RunRecord
+from repro.telemetry import TraceCollector
 
 __version__ = "1.1.0"
 
@@ -51,6 +55,7 @@ __all__ = [
     "SchemeSpec",
     "BatchRunner",
     "RunRecord",
+    "TraceCollector",
     "POLICIES",
     "MECHANISMS",
     "TRANSFER_POLICIES",

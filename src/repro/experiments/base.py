@@ -37,6 +37,13 @@ class ExperimentConfig:
     #: Attach the runtime invariant-validation layer to every simulated run.
     #: Checkers observe, never perturb: results stay byte-identical.
     validate: bool = False
+    #: Attach the telemetry subsystem to every simulated run.  Collectors
+    #: observe, never perturb: printed results stay byte-identical; trace
+    #: summaries ride on the run records and artifacts go to ``trace_dir``.
+    trace: bool = False
+    #: Directory for per-scenario Chrome trace artifacts (``None`` keeps
+    #: traced runs summary-only).  Only used when ``trace`` is enabled.
+    trace_dir: Optional[str] = None
 
     def workload_scale(self) -> WorkloadScale:
         """The resolved workload scale preset."""
@@ -47,10 +54,12 @@ class ExperimentConfig:
         return WorkloadRunner(scale=self.workload_scale(), config=config)
 
     def make_batch_runner(self) -> "BatchRunner":
-        """Create a batch runner honouring this configuration's ``jobs``."""
+        """Create a batch runner honouring ``jobs`` (and ``trace_dir``)."""
         from repro.runner import BatchRunner  # local: keeps import cheap
 
-        return BatchRunner(jobs=self.jobs)
+        return BatchRunner(
+            jobs=self.jobs, trace_dir=self.trace_dir if self.trace else None
+        )
 
     @classmethod
     def smoke(cls) -> "ExperimentConfig":
@@ -92,6 +101,13 @@ class ExperimentResult:
     #: kept out of :meth:`format`/:meth:`to_dict` so enabling validation
     #: never changes the rendered output.
     violation_count: int = 0
+    #: Telemetry totals across the experiment's simulated runs (populated
+    #: when the experiment ran with ``config.trace``; the CLI reports them on
+    #: stderr).  Like ``violation_count``, kept out of
+    #: :meth:`format`/:meth:`to_dict` so enabling tracing never changes the
+    #: rendered output.
+    traced_run_count: int = 0
+    trace_event_count: int = 0
 
     def format(self) -> str:
         """Render the result as an aligned plain-text table."""

@@ -28,13 +28,14 @@ from __future__ import annotations
 import argparse
 import difflib
 import json
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import dss_data, priority_data
 from repro.experiments import figure2, figure5, figure6, figure7, figure8, table1, table2
-from repro.experiments import synthetic
+from repro.experiments import preemption_latency, synthetic
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.registry import MECHANISMS, POLICIES, TRANSFER_POLICIES
 
@@ -49,6 +50,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "figure7": figure7.run,
     "figure8": figure8.run,
     "synthetic": synthetic.run,
+    "preemption_latency": preemption_latency.run,
 }
 
 
@@ -112,6 +114,19 @@ def build_parser() -> argparse.ArgumentParser:
         "exits non-zero if any invariant violation is detected",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach the telemetry subsystem (repro.telemetry) to every simulated "
+        "run: per-scenario Chrome trace artifacts go to --trace-dir and a one-line "
+        "summary is printed to stderr (printed results are byte-identical)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default="traces",
+        help="directory for per-scenario Chrome trace artifacts (default: traces; "
+        "only used with --trace)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead of tables"
     )
     parser.add_argument("--output", default=None, help="write results to this file as well")
@@ -141,6 +156,9 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
         raise ValueError("--jobs must be a non-negative integer (0 = all CPUs)")
     updates["jobs"] = args.jobs
     updates["validate"] = bool(getattr(args, "validate", False))
+    updates["trace"] = bool(getattr(args, "trace", False))
+    if updates["trace"]:
+        updates["trace_dir"] = getattr(args, "trace_dir", None)
     import dataclasses
 
     return dataclasses.replace(base, **updates)
@@ -148,12 +166,14 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
 
 def run_selected(
     names: List[str], config: ExperimentConfig
-) -> Tuple[List[ExperimentResult], int]:
+) -> Tuple[List[ExperimentResult], int, Tuple[int, int]]:
     """Run the selected experiments, sharing simulation data where possible.
 
-    Returns the results plus the total number of invariant violations
-    detected across every simulated run (always 0 unless ``config.validate``
-    attached the checkers — and 0 then too, for a correct simulator).
+    Returns the results, the total number of invariant violations detected
+    across every simulated run (always 0 unless ``config.validate`` attached
+    the checkers — and 0 then too, for a correct simulator), and the
+    ``(traced runs, trace events)`` telemetry totals (non-zero only with
+    ``config.trace`` or trace-driven experiments like ``preemption_latency``).
     """
     results: List[ExperimentResult] = []
     priority_cache = None
@@ -185,16 +205,26 @@ def run_selected(
             result = EXPERIMENTS[name](config)
         result.notes.append(f"Wall-clock time: {time.time() - started:.1f} s")
         results.append(result)
-    # Violations live in three places: the shared figure caches (figures
-    # 5-8), and per-result counts (synthetic, figure2).
-    violation_total = sum(
-        len(workload_result.violations)
+    # Violations and trace totals live in three places: the shared figure
+    # caches (figures 5-8), and per-result counts (synthetic, figure2,
+    # preemption_latency).
+    cached_results = [
+        workload_result
         for cache in (priority_cache, dss_cache)
         if cache is not None
         for workload_result in cache.results.values()
-    )
+    ]
+    violation_total = sum(len(r.violations) for r in cached_results)
     violation_total += sum(result.violation_count for result in results)
-    return results, violation_total
+    traced_runs = sum(1 for r in cached_results if r.trace_summary is not None)
+    traced_runs += sum(result.traced_run_count for result in results)
+    trace_events = sum(
+        r.trace_summary["events_total"]
+        for r in cached_results
+        if r.trace_summary is not None
+    )
+    trace_events += sum(result.trace_event_count for result in results)
+    return results, violation_total, (traced_runs, trace_events)
 
 
 def format_listing() -> str:
@@ -245,7 +275,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
-    results, violation_total = run_selected(names, config)
+    results, violation_total, (traced_runs, trace_events) = run_selected(names, config)
     if args.json:
         text = json.dumps([result.to_dict() for result in results], indent=2)
     else:
@@ -257,6 +287,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         mode = "w" if args.json else "a"
         with open(args.output, mode, encoding="utf-8") as handle:
             handle.write(text + "\n")
+    if args.trace or traced_runs:
+        # stderr only: stdout stays byte-identical so enabling --trace never
+        # perturbs archived results.  One line, composing with --validate.
+        summary = (
+            f"trace: {trace_events} event(s) across {traced_runs} traced run(s)"
+        )
+        # Name the artifact directory only when something was exported there
+        # (experiments that trace in-process, e.g. figure2, stay summary-only).
+        if args.trace and os.path.isdir(args.trace_dir):
+            summary += f" -> {args.trace_dir}"
+        if args.validate:
+            summary += f"; {violation_total} invariant violation(s)"
+        print(summary, file=sys.stderr)
     if violation_total:
         # stderr + exit code only: stdout stays byte-identical so enabling
         # --validate never perturbs archived results.

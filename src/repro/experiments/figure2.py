@@ -54,14 +54,20 @@ def _single_kernel_trace(name: str, spec: KernelSpec, *, cpu_us: float) -> Appli
     return ApplicationTrace(name=name, kernels={spec.name: spec}, operations=operations)
 
 
-def _k3_latency(policy: str, mechanism: str, *, validate: bool = False) -> tuple[float, int]:
+def _k3_latency(
+    policy: str, mechanism: str, *, validate: bool = False, trace: bool = False
+) -> tuple[float, int, int]:
     """Turnaround time of the high-priority process (K3) under one scheduler.
 
-    Returns ``(latency_us, violation_count)``; the count is always 0 unless
-    ``validate`` attached the invariant checkers and one of them fired.
+    Returns ``(latency_us, violation_count, trace_event_count)``; the counts
+    are 0 unless ``validate`` / ``trace`` attached the respective observers.
     """
     system = GPUSystem(
-        policy=policy, mechanism=mechanism, transfer_policy="npq", validate=validate
+        policy=policy,
+        mechanism=mechanism,
+        transfer_policy="npq",
+        validate=validate,
+        trace=trace,
     )
     k1 = _kernel("K1", blocks=1300, tb_time_us=40.0)
     k2 = _kernel("K2", blocks=1300, tb_time_us=40.0)
@@ -74,16 +80,18 @@ def _k3_latency(policy: str, mechanism: str, *, validate: bool = False) -> tuple
     system.add_process("rt", _single_kernel_trace("rt", k3, cpu_us=1.0), priority=10,
                        start_delay_us=500.0, max_iterations=1)
     system.run(max_events=5_000_000)
-    return system.process("rt").mean_iteration_time_us(), len(system.violations())
+    events = system.telemetry.num_events if system.telemetry is not None else 0
+    return system.process("rt").mean_iteration_time_us(), len(system.violations()), events
 
 
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Reproduce the Figure 2 scenario and report K3's turnaround time.
 
     The scenario is fixed (it does not use the Parboil suite); the
-    configuration only supplies the ``validate`` toggle.
+    configuration only supplies the ``validate`` and ``trace`` toggles.
     """
     validate = config.validate if config is not None else False
+    trace = config.trace if config is not None else False
     schemes: Dict[str, tuple[str, str]] = {
         "FCFS (current GPUs, Fig. 2a)": ("fcfs", "context_switch"),
         "Nonpreemptive priority (Fig. 2b)": ("npq", "context_switch"),
@@ -97,9 +105,12 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     )
     latencies = {}
     for label, args in schemes.items():
-        latency, violations = _k3_latency(*args, validate=validate)
+        latency, violations, events = _k3_latency(*args, validate=validate, trace=trace)
         latencies[label] = latency
         result.violation_count += violations
+        if trace:
+            result.traced_run_count += 1
+            result.trace_event_count += events
     baseline = latencies["FCFS (current GPUs, Fig. 2a)"]
     for label, latency in latencies.items():
         result.rows.append([label, round(latency, 1), round(baseline / latency, 2)])

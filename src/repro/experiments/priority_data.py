@@ -141,7 +141,11 @@ def collect(
                 keys.append((process_count, spec.workload_id, scheme.label))
                 scenarios.append(
                     ScenarioSpec.for_workload(
-                        spec, scheme, scale=config.scale, validate=config.validate
+                        spec,
+                        scheme,
+                        scale=config.scale,
+                        validate=config.validate,
+                        trace=config.trace,
                     )
                 )
 

@@ -29,6 +29,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         seed=config.seed,
         scale=config.scale,
         validate=config.validate,
+        trace=config.trace,
     )
     records: List[RunRecord] = config.make_batch_runner().run(scenarios)
 
@@ -66,6 +67,10 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         )
 
     result.violation_count = total_violations
+    result.traced_run_count = sum(1 for r in records if r.trace_summary is not None)
+    result.trace_event_count = sum(
+        r.trace_summary["events_total"] for r in records if r.trace_summary is not None
+    )
     result.series["records"] = [record.to_dict() for record in records]
     result.notes.append(
         f"Scale preset: {config.scale}; {len(scenarios)} scenarios derived from "

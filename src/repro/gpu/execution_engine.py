@@ -135,6 +135,8 @@ class ExecutionEngine:
             shared_memory_config=occupancy.shared_memory_config,
         )
         self.stats.counter("kernels_activated").add()
+        if self.observer is not None:
+            self.observer.on_kernel_activated(entry)
         # The command buffer for this context is now free: the dispatcher may
         # deliver the next command (e.g. a queued launch from another stream).
         self._notify_backpressure()
@@ -150,6 +152,10 @@ class ExecutionEngine:
         sm = self._sms[sm_id]
         sm.state = SMState.RESERVED
         self.stats.counter("sm_reservations").add()
+        if self.observer is not None:
+            # Before initiate(): observers see the request strictly before
+            # any save/complete notification of the same preemption.
+            self.observer.on_sm_reserved(sm, next_ksr_index)
         self.mechanism.initiate(sm)
 
     def update_reservation(self, sm_id: int, next_ksr_index: Optional[int]) -> None:

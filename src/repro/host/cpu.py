@@ -13,7 +13,7 @@ unbounded number of them in parallel.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.gpu.config import CPUConfig
 from repro.sim.engine import Simulator
@@ -29,6 +29,9 @@ class HostCPU:
         self._busy_threads = 0
         self._waiting: Deque[Tuple[float, Callable[[], None], str]] = deque()
         self.stats = StatRegistry()
+        #: Optional instrumentation sink (see :mod:`repro.sim.observers`),
+        #: notified of phase start/finish; it must never mutate state.
+        self.observer: Optional[object] = None
 
     @property
     def hardware_threads(self) -> int:
@@ -63,9 +66,13 @@ class HostCPU:
         self._busy_threads += 1
         self.stats.counter("phases_started").add()
         self.stats.counter("cpu_time_us", unit="us").add(duration_us)
+        if self.observer is not None:
+            self.observer.on_cpu_phase_started(duration_us, label)
 
         def _finish() -> None:
             self._busy_threads -= 1
+            if self.observer is not None:
+                self.observer.on_cpu_phase_finished(label)
             try:
                 on_complete()
             finally:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -73,6 +74,7 @@ class RunRecord:
         return {
             "scenario": self.scenario.to_dict(),
             "scheme": self.scenario.scheme.label,
+            "trace": self.result.trace_summary,
             "process_times_us": dict(self.result.process_times_us),
             "process_applications": dict(self.result.process_applications),
             "metrics": {
@@ -98,20 +100,45 @@ class RunRecord:
         """Whether the run recorded no invariant violations."""
         return not self.result.violations
 
+    @property
+    def trace_summary(self) -> Optional[Dict[str, Any]]:
+        """Telemetry summary of the run (``None`` unless the scenario traced)."""
+        return self.result.trace_summary
+
+    @property
+    def trace_artifacts(self) -> List[str]:
+        """Paths of trace artifacts exported by the (worker) run."""
+        summary = self.result.trace_summary
+        return list(summary.get("artifacts", [])) if summary else []
+
     def to_json(self) -> str:
         """JSON form."""
         return json.dumps(self.to_dict(), sort_keys=True)
 
 
-def execute_scenario(scenario: ScenarioSpec) -> RunRecord:
+def execute_scenario(
+    scenario: ScenarioSpec, *, trace_path: Optional[str] = None
+) -> RunRecord:
     """Run one scenario in this process (the unit of work of a batch)."""
-    result = runner_for(scenario).run_scenario(scenario)
+    result = runner_for(scenario).run_scenario(scenario, trace_path=trace_path)
     return RunRecord(scenario=scenario, result=result)
 
 
-def _execute_payload(payload: Dict[str, Any]) -> RunRecord:
+def _execute_payload(payload: Tuple[Dict[str, Any], Optional[str]]) -> RunRecord:
     """Worker-side entry point: rebuild the spec from its dict form and run."""
-    return execute_scenario(ScenarioSpec.from_dict(payload))
+    scenario_dict, trace_path = payload
+    return execute_scenario(ScenarioSpec.from_dict(scenario_dict), trace_path=trace_path)
+
+
+def trace_artifact_path(trace_dir: str, index: int, scenario: ScenarioSpec) -> str:
+    """Deterministic per-scenario trace file path inside ``trace_dir``.
+
+    Derived from the batch position and the scenario description only, so
+    serial and parallel runs of the same batch export identical artifact
+    sets.
+    """
+    slug = re.sub(r"[^a-zA-Z0-9_.-]+", "-", scenario.describe()).strip("-").lower()
+    return os.path.join(trace_dir, f"{index:04d}-{slug}.trace.json")
 
 
 class BatchRunner:
@@ -125,31 +152,66 @@ class BatchRunner:
     chunksize:
         Scenarios handed to a worker at a time (parallel mode only);
         defaults to a heuristic that balances load and baseline-cache reuse.
+    trace_dir:
+        Directory for per-scenario trace artifacts.  Traced scenarios
+        (``ScenarioSpec(trace=True)``) export a Chrome trace-event JSON file
+        there (written by the worker that ran the scenario; the path is
+        deterministic, see :func:`trace_artifact_path`, so serial and
+        parallel runs produce the same artifact set).  ``None`` keeps traced
+        runs summary-only.
     """
 
-    def __init__(self, *, jobs: Optional[int] = 1, chunksize: Optional[int] = None):
+    def __init__(
+        self,
+        *,
+        jobs: Optional[int] = 1,
+        chunksize: Optional[int] = None,
+        trace_dir: Optional[str] = None,
+    ):
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
         self.chunksize = chunksize
+        self.trace_dir = trace_dir
+
+    def _trace_paths(self, scenarios: List[ScenarioSpec]) -> List[Optional[str]]:
+        if self.trace_dir is None:
+            return [None] * len(scenarios)
+        paths = [
+            trace_artifact_path(self.trace_dir, index, scenario)
+            if scenario.trace
+            else None
+            for index, scenario in enumerate(scenarios)
+        ]
+        if any(path is not None for path in paths):
+            os.makedirs(self.trace_dir, exist_ok=True)
+        return paths
 
     def run(self, scenarios: Iterable[ScenarioSpec]) -> List[RunRecord]:
         """Run every scenario and return records in the input order."""
         scenarios = list(scenarios)
+        trace_paths = self._trace_paths(scenarios)
         if self.jobs == 1 or len(scenarios) < 2:
-            return [execute_scenario(scenario) for scenario in scenarios]
-        return self._run_parallel(scenarios)
+            return [
+                execute_scenario(scenario, trace_path=path)
+                for scenario, path in zip(scenarios, trace_paths)
+            ]
+        return self._run_parallel(scenarios, trace_paths)
 
-    def _run_parallel(self, scenarios: List[ScenarioSpec]) -> List[RunRecord]:
+    def _run_parallel(
+        self, scenarios: List[ScenarioSpec], trace_paths: List[Optional[str]]
+    ) -> List[RunRecord]:
         workers = min(self.jobs, len(scenarios))
-        payloads = [scenario.to_dict() for scenario in scenarios]
+        payloads = [
+            (scenario.to_dict(), path) for scenario, path in zip(scenarios, trace_paths)
+        ]
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, len(scenarios) // (workers * 4))
         try:
             executor = ProcessPoolExecutor(max_workers=workers)
         except OSError as exc:  # pragma: no cover - sandboxed hosts
-            return self._serial_fallback(scenarios, exc)
+            return self._serial_fallback(scenarios, trace_paths, exc)
         with executor:
             try:
                 # Probe that workers can actually spawn (sandboxes may allow
@@ -157,7 +219,7 @@ class BatchRunner:
                 # committing the real grid to it.
                 executor.submit(int).result()
             except OSError as exc:  # pragma: no cover - sandboxed hosts
-                return self._serial_fallback(scenarios, exc)
+                return self._serial_fallback(scenarios, trace_paths, exc)
             # Worker errors (including OSError raised *by a scenario*) now
             # propagate: discarding completed work to re-run a long grid
             # serially would be far costlier than failing fast.
@@ -165,14 +227,25 @@ class BatchRunner:
 
     @staticmethod
     def _serial_fallback(
-        scenarios: List[ScenarioSpec], exc: BaseException
+        scenarios: List[ScenarioSpec],
+        trace_paths: List[Optional[str]],
+        exc: BaseException,
     ) -> List[RunRecord]:  # pragma: no cover - sandboxed hosts
         warnings.warn(
             f"process pool unavailable ({exc}); falling back to serial execution",
             RuntimeWarning,
             stacklevel=3,
         )
-        return [execute_scenario(scenario) for scenario in scenarios]
+        return [
+            execute_scenario(scenario, trace_path=path)
+            for scenario, path in zip(scenarios, trace_paths)
+        ]
 
 
-__all__ = ["BatchRunner", "RunRecord", "execute_scenario", "runner_for"]
+__all__ = [
+    "BatchRunner",
+    "RunRecord",
+    "execute_scenario",
+    "runner_for",
+    "trace_artifact_path",
+]

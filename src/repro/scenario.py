@@ -251,6 +251,11 @@ class ScenarioSpec:
     #: with and without validation; detected violations are surfaced through
     #: :class:`repro.runner.RunRecord`.
     validate: bool = False
+    #: Attach the telemetry subsystem (:mod:`repro.telemetry`) to the run.
+    #: The collector observes, never perturbs: results are byte-identical with
+    #: and without tracing; the trace summary (and exported artifact paths)
+    #: are surfaced through :class:`repro.runner.RunRecord`.
+    trace: bool = False
 
     __hash__ = None  # type: ignore[assignment]
 
@@ -349,6 +354,7 @@ class ScenarioSpec:
             "high_priority": self.high_priority,
             "normal_priority": self.normal_priority,
             "validate": self.validate,
+            "trace": self.trace,
         }
 
     @classmethod

@@ -51,6 +51,7 @@ class GPUSystem:
         transfer_policy: Union[str, TransferSchedulingPolicy] = TransferSchedulingPolicy.FCFS,
         policy_options: Optional[Dict] = None,
         validate: bool = False,
+        trace: bool = False,
     ):
         self.config = config if config is not None else SystemConfig()
         self.simulator = Simulator()
@@ -97,6 +98,12 @@ class GPUSystem:
         #: Minimum completed iterations per process before :meth:`run` with
         #: ``stop_after_min_iterations`` halts the simulation.
         self._min_iterations: Optional[int] = None
+        #: Observers installed on the component hooks (see
+        #: :meth:`install_observer`); the components themselves keep a single
+        #: ``observer`` attribute, multiplexed through a
+        #: :class:`~repro.sim.observers.CompositeObserver` when several are
+        #: installed (e.g. ``validate=True`` together with ``trace=True``).
+        self._component_observers: List[object] = []
         #: Runtime invariant-validation hub (``None`` unless ``validate=True``).
         self.validation = None
         if validate:
@@ -104,6 +111,58 @@ class GPUSystem:
 
             self.validation = make_hub()
             self.validation.attach(self)
+        #: Telemetry trace collector (``None`` unless ``trace`` enabled it or
+        #: a :class:`~repro.telemetry.TraceCollector` was attached manually).
+        self.telemetry = None
+        if trace:
+            from repro.telemetry import TraceCollector  # local: keeps import cheap
+
+            collector = trace if isinstance(trace, TraceCollector) else TraceCollector()
+            collector.attach(self)
+
+    # ------------------------------------------------------------------
+    # Instrumentation observers
+    # ------------------------------------------------------------------
+    def install_observer(self, observer) -> None:
+        """Attach ``observer`` to every instrumented component of the system.
+
+        Observers (see :class:`repro.sim.observers.BaseObserver` for the hook
+        vocabulary) must only observe — never schedule events or mutate model
+        state — so any number of them can be installed without perturbing the
+        simulation.  Multiple observers are multiplexed through a
+        :class:`~repro.sim.observers.CompositeObserver`, keeping the
+        single-observer hot path a plain attribute check.
+        """
+        if any(existing is observer for existing in self._component_observers):
+            raise ValueError("observer is already installed")
+        if getattr(observer, "wants_simulator_events", True):
+            self.simulator.add_observer(observer)
+        self._component_observers.append(observer)
+        self._rewire_observers()
+
+    def uninstall_observer(self, observer) -> None:
+        """Detach a previously installed observer (idempotent)."""
+        self.simulator.remove_observer(observer)
+        self._component_observers = [
+            existing for existing in self._component_observers if existing is not observer
+        ]
+        self._rewire_observers()
+
+    def _rewire_observers(self) -> None:
+        observers = self._component_observers
+        if not observers:
+            target = None
+        elif len(observers) == 1:
+            target = observers[0]
+        else:
+            from repro.sim.observers import CompositeObserver
+
+            target = CompositeObserver(observers)
+        self.execution_engine.observer = target
+        for sm in self.execution_engine.sms():
+            sm.observer = target
+        self.dispatcher.observer = target
+        self.cpu.observer = target
 
     # ------------------------------------------------------------------
     # Declarative construction
@@ -156,6 +215,7 @@ class GPUSystem:
             transfer_policy=scheme.transfer_policy,
             policy_options=options or None,
             validate=scenario.validate,
+            trace=scenario.trace,
         )
         for slot, (app, process_name) in enumerate(
             zip(scenario.applications, scenario.process_names())
@@ -266,6 +326,10 @@ class GPUSystem:
     def violations(self) -> List[Dict]:
         """Recorded invariant violations (empty list when validation is off)."""
         return self.validation.to_dicts() if self.validation is not None else []
+
+    def trace_summary(self) -> Optional[Dict]:
+        """Telemetry summary of the run (``None`` when tracing is off)."""
+        return self.telemetry.summary() if self.telemetry is not None else None
 
     def iteration_times_us(self) -> Dict[str, List[float]]:
         """Completed-iteration durations per process."""

@@ -1,0 +1,132 @@
+"""Typed, timestamped trace events recorded by the telemetry subsystem.
+
+A :class:`TraceEvent` is one instant in a simulation's life: a kernel being
+enqueued, a thread block starting, a preemption completing.  Events carry a
+``kind`` (one of the :data:`KINDS` constants), the simulation time, a
+monotonically increasing per-collector sequence number (to give a total
+order to events at the same timestamp) and a flat, JSON-serialisable
+``attrs`` payload.
+
+Identifiers inside ``attrs`` are *run-local*: the collector densely renumbers
+global counters (e.g. command ids, which are process-wide) so that the trace
+of a scenario is byte-identical whether it runs first or last in a batch,
+serially or inside a worker process.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+
+# ----------------------------------------------------------------------
+# Event kinds
+# ----------------------------------------------------------------------
+#: Kernel lifecycle: command entered a hardware queue / was issued to the
+#: execution engine / was admitted into the KSRT / completed all its blocks.
+KERNEL_ENQUEUE = "kernel_enqueue"
+KERNEL_ISSUE = "kernel_issue"
+KERNEL_LAUNCH = "kernel_launch"
+KERNEL_COMPLETE = "kernel_complete"
+
+#: Thread-block residency: dispatched to an SM (``block_restore`` when the
+#: block had been preempted and its context is being restored) / finished.
+BLOCK_START = "block_start"
+BLOCK_RESTORE = "block_restore"
+BLOCK_FINISH = "block_finish"
+
+#: Preemption lifecycle: policy reserved the SM (request) / context-switch
+#: save began (doubles as drain-complete for the draining mechanism, which
+#: never saves) / the SM was handed back free.
+PREEMPT_REQUEST = "preempt_request"
+PREEMPT_SAVE_START = "preempt_save_start"
+PREEMPT_COMPLETE = "preempt_complete"
+
+#: DMA transfers across the PCIe bus.
+TRANSFER_ENQUEUE = "transfer_enqueue"
+TRANSFER_START = "transfer_start"
+TRANSFER_COMPLETE = "transfer_complete"
+
+#: Host CPU phases.
+CPU_PHASE_START = "cpu_phase_start"
+CPU_PHASE_END = "cpu_phase_end"
+
+#: SM occupancy bookkeeping (configure for a kernel / release to idle pool).
+SM_CONFIGURED = "sm_configured"
+SM_RELEASED = "sm_released"
+
+#: Every kind, in a stable documentation order.
+KINDS = (
+    KERNEL_ENQUEUE,
+    KERNEL_ISSUE,
+    KERNEL_LAUNCH,
+    KERNEL_COMPLETE,
+    BLOCK_START,
+    BLOCK_RESTORE,
+    BLOCK_FINISH,
+    PREEMPT_REQUEST,
+    PREEMPT_SAVE_START,
+    PREEMPT_COMPLETE,
+    TRANSFER_ENQUEUE,
+    TRANSFER_START,
+    TRANSFER_COMPLETE,
+    CPU_PHASE_START,
+    CPU_PHASE_END,
+    SM_CONFIGURED,
+    SM_RELEASED,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured, timestamped simulation event."""
+
+    #: Per-collector sequence number; totally orders same-time events.
+    seq: int
+    #: Simulation time of the event (µs).
+    time_us: float
+    #: Event kind (one of :data:`KINDS`).
+    kind: str
+    #: Flat, JSON-serialisable payload (run-local identifiers only).
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        return {
+            "seq": self.seq,
+            "time_us": self.time_us,
+            "kind": self.kind,
+            "attrs": dict(self.attrs),
+        }
+
+    def to_json(self) -> str:
+        """One-line JSON form (the JSONL exporter emits exactly this)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def __str__(self) -> str:
+        attrs = " ".join(f"{key}={value}" for key, value in sorted(self.attrs.items()))
+        return f"[{self.time_us:.3f}us] {self.kind} {attrs}".rstrip()
+
+
+__all__ = [
+    "TraceEvent",
+    "KINDS",
+    "KERNEL_ENQUEUE",
+    "KERNEL_ISSUE",
+    "KERNEL_LAUNCH",
+    "KERNEL_COMPLETE",
+    "BLOCK_START",
+    "BLOCK_RESTORE",
+    "BLOCK_FINISH",
+    "PREEMPT_REQUEST",
+    "PREEMPT_SAVE_START",
+    "PREEMPT_COMPLETE",
+    "TRANSFER_ENQUEUE",
+    "TRANSFER_START",
+    "TRANSFER_COMPLETE",
+    "CPU_PHASE_START",
+    "CPU_PHASE_END",
+    "SM_CONFIGURED",
+    "SM_RELEASED",
+]

@@ -1,0 +1,246 @@
+"""Trace exporters: Chrome trace-event JSON, streaming JSONL, ASCII Gantt.
+
+Three views of the same recorded stream:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (the ``traceEvents`` array form), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  SMs appear as threads
+  of a "GPU" process, host processes/CPU/DMA as threads of a "Host" process;
+  matched intervals become complete ("X") slices and unmatched instants
+  become instant ("i") events.
+* :func:`iter_jsonl` / :func:`write_jsonl` — one JSON object per line, in
+  event order; the streaming-friendly archival form.
+* :func:`ascii_gantt` — a terminal timeline: one row per track, ``#`` for
+  busy cells, ``P`` overlaying preemption windows.
+
+All exporters are deterministic: same events in, bytes out.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.telemetry import events as ev
+from repro.telemetry.analytics import Span, derive_spans
+from repro.telemetry.events import TraceEvent
+
+#: Event kinds exported as Chrome *instant* events (the rest pair into
+#: complete slices via :func:`~repro.telemetry.analytics.derive_spans`).
+_INSTANT_KINDS = {
+    ev.PREEMPT_REQUEST,
+    ev.PREEMPT_SAVE_START,
+    ev.PREEMPT_COMPLETE,
+    ev.KERNEL_ENQUEUE,
+    ev.SM_CONFIGURED,
+    ev.SM_RELEASED,
+}
+
+_CATEGORY_PID = {"block": "GPU", "preemption": "GPU", "transfer": "Host", "cpu": "Host"}
+
+
+def _end_time(events: Sequence[TraceEvent], end_us: Optional[float]) -> float:
+    if end_us is not None:
+        return end_us
+    return events[-1].time_us if events else 0.0
+
+
+def _span_pid_tid(span: Span) -> tuple:
+    pid = _CATEGORY_PID.get(span.category, "Host")
+    return pid, span.track
+
+
+def to_chrome_trace(
+    events: Sequence[TraceEvent], *, end_us: Optional[float] = None
+) -> Dict[str, Any]:
+    """Convert a trace stream to a Chrome trace-event JSON document."""
+    end = _end_time(events, end_us)
+    spans = derive_spans(events, end_us=end)
+
+    # Stable integer ids for process/thread names, assigned in first-use
+    # order so the document is byte-identical across runs.
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+
+    def pid_of(name: str) -> int:
+        if name not in pids:
+            pids[name] = len(pids) + 1
+        return pids[name]
+
+    def tid_of(pid_name: str, track: str) -> int:
+        key = (pid_name, track)
+        if key not in tids:
+            tids[key] = sum(1 for existing in tids if existing[0] == pid_name) + 1
+        return tids[key]
+
+    trace_events: List[Dict[str, Any]] = []
+    for span in spans:
+        pid_name, track = _span_pid_tid(span)
+        trace_events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.duration_us,
+                "pid": pid_of(pid_name),
+                "tid": tid_of(pid_name, track),
+                "args": dict(span.attrs),
+            }
+        )
+    for event in events:
+        if event.kind not in _INSTANT_KINDS:
+            continue
+        sm = event.attrs.get("sm")
+        pid_name = "GPU" if sm is not None else "Host"
+        track = f"SM{sm:02d}" if sm is not None else "host"
+        trace_events.append(
+            {
+                "name": event.kind,
+                "cat": "instant",
+                "ph": "i",
+                "s": "t",
+                "ts": event.time_us,
+                "pid": pid_of(pid_name),
+                "tid": tid_of(pid_name, track),
+                "args": dict(event.attrs),
+            }
+        )
+    # Metadata records give the numeric ids their human names in the UI.
+    metadata: List[Dict[str, Any]] = []
+    for name, pid in sorted(pids.items(), key=lambda item: item[1]):
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": name},
+            }
+        )
+    for (pid_name, track), tid in sorted(tids.items(), key=lambda item: item[1]):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pids[pid_name],
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.telemetry",
+            "events_recorded": len(events),
+            "simulated_time_us": end,
+        },
+    }
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent],
+    destination: Union[str, IO[str]],
+    *,
+    end_us: Optional[float] = None,
+) -> None:
+    """Write :func:`to_chrome_trace` output as JSON to a path or file object."""
+    document = to_chrome_trace(events, end_us=end_us)
+    if hasattr(destination, "write"):
+        json.dump(document, destination, sort_keys=True)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+        json.dump(document, handle, sort_keys=True)
+
+
+def iter_jsonl(events: Iterable[TraceEvent]) -> Iterator[str]:
+    """Yield one JSON line per event (no trailing newline on the lines)."""
+    for event in events:
+        yield event.to_json()
+
+
+def write_jsonl(
+    events: Iterable[TraceEvent], destination: Union[str, IO[str]]
+) -> None:
+    """Stream events as JSON Lines to a path or file object."""
+    if hasattr(destination, "write"):
+        for line in iter_jsonl(events):
+            destination.write(line + "\n")  # type: ignore[union-attr]
+        return
+    with open(destination, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+        for line in iter_jsonl(events):
+            handle.write(line + "\n")
+
+
+# ----------------------------------------------------------------------
+# ASCII Gantt
+# ----------------------------------------------------------------------
+def ascii_gantt(
+    events: Sequence[TraceEvent],
+    *,
+    width: int = 72,
+    end_us: Optional[float] = None,
+    categories: Sequence[str] = ("block", "transfer", "cpu"),
+) -> str:
+    """Render the trace as a fixed-width terminal timeline.
+
+    One row per track (SMs first, then DMA/CPU), ``#`` where the track has
+    at least one active span in the column's time bucket, ``.`` where idle,
+    and ``P`` overlaid where a preemption window covers the bucket.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10 columns")
+    end = _end_time(events, end_us)
+    spans = derive_spans(events, end_us=end)
+    if end <= 0.0 or not spans:
+        return "(empty trace)"
+
+    tracks: Dict[str, List[str]] = {}
+    preemption_spans: List[Span] = []
+    for span in spans:
+        if span.category == "preemption":
+            preemption_spans.append(span)
+        if span.category not in categories:
+            continue
+        tracks.setdefault(span.track, ["."] * width)
+
+    def columns(span: Span) -> range:
+        # A span always paints at least one column, so short blocks stay visible.
+        first = min(width - 1, int(span.start_us / end * width))
+        last = min(width - 1, int(span.end_us / end * width))
+        return range(first, max(first, last) + 1)
+
+    for span in spans:
+        if span.category not in categories or span.track not in tracks:
+            continue
+        row = tracks[span.track]
+        for column in columns(span):
+            row[column] = "#"
+    for span in preemption_spans:
+        row = tracks.get(span.track)
+        if row is None:
+            continue
+        for column in columns(span):
+            row[column] = "P"
+
+    label_width = max(len(track) for track in tracks) if tracks else 4
+    lines = [
+        f"{'time':>{label_width}} |0{'':{width - 2}}{end:.0f}us",
+        f"{'':>{label_width}} +{'-' * width}",
+    ]
+    for track in sorted(tracks):
+        lines.append(f"{track:>{label_width}} |{''.join(tracks[track])}|")
+    lines.append(
+        f"{'':>{label_width}}  ('#' busy, 'P' preemption window, '.' idle; "
+        f"{width} cols x {end / width:.1f}us)"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "iter_jsonl",
+    "write_jsonl",
+    "ascii_gantt",
+]

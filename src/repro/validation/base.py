@@ -148,6 +148,12 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     # Execution-engine hooks
     # ------------------------------------------------------------------
+    def on_sm_reserved(self, sm: "StreamingMultiprocessor", next_ksr_index) -> None:
+        """The scheduling policy reserved ``sm`` (preemption request)."""
+
+    def on_kernel_activated(self, entry) -> None:
+        """A buffered kernel command was admitted into the KSRT."""
+
     def on_preemption_complete(
         self, sm: "StreamingMultiprocessor", evicted_blocks: List["ThreadBlock"], mechanism
     ) -> None:
@@ -168,6 +174,15 @@ class InvariantChecker:
     def on_command_completed(self, queue_id: int, command_id: int) -> None:
         """An in-flight command completed and re-enabled its queue."""
 
+    # ------------------------------------------------------------------
+    # Host CPU hooks
+    # ------------------------------------------------------------------
+    def on_cpu_phase_started(self, duration_us: float, label: str) -> None:
+        """A CPU phase started executing on a hardware thread."""
+
+    def on_cpu_phase_finished(self, label: str) -> None:
+        """A CPU phase finished and freed its hardware thread."""
+
 
 class ValidationHub:
     """Fans instrumentation hooks out to a set of invariant checkers.
@@ -185,18 +200,31 @@ class ValidationHub:
     # Wiring
     # ------------------------------------------------------------------
     def attach(self, system: "GPUSystem") -> None:
-        """Install the hub on every instrumented component of ``system``."""
+        """Install the hub on every instrumented component of ``system``.
+
+        Installation goes through
+        :meth:`~repro.system.GPUSystem.install_observer`, so the hub composes
+        with other observers (e.g. a telemetry
+        :class:`~repro.telemetry.TraceCollector`) instead of displacing them.
+        """
         if self._system is not None:
             raise RuntimeError("a ValidationHub can only be attached once")
         self._system = system
-        system.simulator.add_observer(self)
-        engine = system.execution_engine
-        engine.observer = self
-        for sm in engine.sms():
-            sm.observer = self
-        system.dispatcher.observer = self
+        system.install_observer(self)
         for checker in self._checkers:
             checker.attach(system)
+
+    def detach(self) -> None:
+        """Remove the hub's hooks from the system it observes.
+
+        Recorded violations (and :meth:`finalize`) stay available; the hub
+        simply stops receiving instrumentation callbacks.  Detaching is
+        idempotent; a detached hub cannot be re-attached (checker state is
+        bound to the original run).
+        """
+        if self._system is None:
+            raise RuntimeError("cannot detach an unattached ValidationHub")
+        self._system.uninstall_observer(self)
 
     def finalize(self) -> None:
         """Run every checker's end-of-run pass.
@@ -283,6 +311,14 @@ class ValidationHub:
         for checker in self._checkers:
             checker.on_blocks_evicted(sm, blocks)
 
+    def on_sm_reserved(self, sm, next_ksr_index) -> None:
+        for checker in self._checkers:
+            checker.on_sm_reserved(sm, next_ksr_index)
+
+    def on_kernel_activated(self, entry) -> None:
+        for checker in self._checkers:
+            checker.on_kernel_activated(entry)
+
     def on_preemption_complete(self, sm, evicted_blocks, mechanism) -> None:
         for checker in self._checkers:
             checker.on_preemption_complete(sm, evicted_blocks, mechanism)
@@ -302,3 +338,11 @@ class ValidationHub:
     def on_command_completed(self, queue_id, command_id) -> None:
         for checker in self._checkers:
             checker.on_command_completed(queue_id, command_id)
+
+    def on_cpu_phase_started(self, duration_us, label) -> None:
+        for checker in self._checkers:
+            checker.on_cpu_phase_started(duration_us, label)
+
+    def on_cpu_phase_finished(self, label) -> None:
+        for checker in self._checkers:
+            checker.on_cpu_phase_finished(label)

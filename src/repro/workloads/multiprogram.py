@@ -217,6 +217,11 @@ class WorkloadResult:
     #: Invariant violations detected during the run (see
     #: :mod:`repro.validation`); always empty for a correct simulator.
     violations: List[Dict] = field(default_factory=list)
+    #: Telemetry summary of the run (see
+    #: :func:`repro.telemetry.analytics.summarize`): event counts,
+    #: per-mechanism preemption-latency samples and stats, queueing stats and
+    #: exported artifact paths.  ``None`` unless the scenario enabled tracing.
+    trace_summary: Optional[Dict] = None
 
     @property
     def high_priority_process(self) -> Optional[str]:
@@ -320,7 +325,9 @@ class WorkloadRunner:
             )
         )
 
-    def run_scenario(self, scenario: ScenarioSpec) -> WorkloadResult:
+    def run_scenario(
+        self, scenario: ScenarioSpec, *, trace_path: Optional[str] = None
+    ) -> WorkloadResult:
         """Simulate one declarative scenario and collect metrics.
 
         The system is built by :meth:`GPUSystem.from_scenario` with this
@@ -331,6 +338,11 @@ class WorkloadRunner:
         — running it here would silently produce results attributed to a
         configuration that was never simulated (use
         :func:`repro.runner.execute_scenario`, which picks the right runner).
+
+        For a traced scenario (``scenario.trace``), ``trace_path`` names a
+        Chrome trace-event JSON file to export; the raw events stay in this
+        process and only the summary (plus the artifact path) travels back in
+        the :class:`WorkloadResult`.
         """
         if scenario.scale != self.scale.name:
             raise ValueError(
@@ -365,6 +377,22 @@ class WorkloadRunner:
             name: self.baseline.time_us(app) for name, app in process_applications.items()
         }
         metrics = MultiprogramMetrics.compute(process_times, isolated)
+        trace_summary = None
+        if system.telemetry is not None:
+            from repro.telemetry.analytics import summarize  # local: keeps import cheap
+            from repro.telemetry.export import write_chrome_trace
+
+            artifacts = []
+            if trace_path is not None:
+                write_chrome_trace(
+                    system.telemetry.events, trace_path, end_us=system.simulator.now
+                )
+                artifacts.append(trace_path)
+            trace_summary = summarize(
+                system.telemetry.events,
+                now_us=system.simulator.now,
+                artifacts=artifacts,
+            )
         return WorkloadResult(
             spec=spec,
             policy=scenario.scheme.policy,
@@ -377,6 +405,7 @@ class WorkloadRunner:
             events_processed=system.simulator.events_processed,
             validated=system.validation is not None,
             violations=system.violations(),
+            trace_summary=trace_summary,
         )
 
     # ------------------------------------------------------------------

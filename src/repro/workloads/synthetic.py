@@ -260,6 +260,7 @@ def generate_synthetic_scenario(
     *,
     scale: str = "smoke",
     validate: bool = False,
+    trace: bool = False,
     scheme: Optional[SchemeSpec] = None,
     min_processes: int = 2,
     max_processes: int = 5,
@@ -294,6 +295,7 @@ def generate_synthetic_scenario(
         start_stagger_us=round(_u(seed, "stagger") * 25.0, 3),
         high_priority=high_priority,
         validate=validate,
+        trace=trace,
     )
 
 
@@ -303,6 +305,7 @@ def generate_synthetic_scenarios(
     seed: int = 2014,
     scale: str = "smoke",
     validate: bool = False,
+    trace: bool = False,
     scheme: Optional[SchemeSpec] = None,
     min_processes: int = 2,
     max_processes: int = 5,
@@ -320,6 +323,7 @@ def generate_synthetic_scenarios(
             seed * 1000 + i,
             scale=scale,
             validate=validate,
+            trace=trace,
             scheme=scheme,
             min_processes=min_processes,
             max_processes=max_processes,

@@ -15,7 +15,7 @@ def test_parser_knows_every_experiment():
     assert args.experiments == ["table1", "table2"]
     assert set(EXPERIMENTS) == {
         "table1", "table2", "figure2", "figure5", "figure6", "figure7", "figure8",
-        "synthetic",
+        "synthetic", "preemption_latency",
     }
 
 
@@ -34,6 +34,63 @@ def test_make_config_applies_validate():
     parser = build_parser()
     assert make_config(parser.parse_args(["synthetic", "--validate"])).validate is True
     assert make_config(parser.parse_args(["synthetic"])).validate is False
+
+
+def test_make_config_applies_trace():
+    parser = build_parser()
+    config = make_config(parser.parse_args(["synthetic", "--trace"]))
+    assert config.trace is True
+    assert config.trace_dir == "traces"
+    config = make_config(
+        parser.parse_args(["synthetic", "--trace", "--trace-dir", "out"])
+    )
+    assert config.trace_dir == "out"
+    config = make_config(parser.parse_args(["synthetic"]))
+    assert config.trace is False
+    assert config.trace_dir is None  # --trace-dir without --trace is inert
+
+
+def test_main_trace_writes_artifacts_and_stderr_summary(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    exit_code = main(
+        ["synthetic", "--scale", "smoke", "--workloads", "2", "--seed", "7",
+         "--trace", "--trace-dir", str(tmp_path / "tr")]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Synthetic" in captured.out
+    assert "traced run(s)" in captured.err
+    assert str(tmp_path / "tr") in captured.err
+    artifacts = list((tmp_path / "tr").iterdir())
+    assert len(artifacts) == 2
+    assert all(p.name.endswith(".trace.json") for p in artifacts)
+
+
+def test_main_trace_and_validate_compose(capsys, tmp_path, monkeypatch):
+    """--validate and --trace together: both observers, one stderr line."""
+    monkeypatch.chdir(tmp_path)
+    exit_code = main(
+        ["synthetic", "--scale", "smoke", "--workloads", "2", "--seed", "7",
+         "--trace", "--trace-dir", str(tmp_path / "tr"), "--validate"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    (summary_line,) = captured.err.strip().splitlines()
+    assert "traced run(s)" in summary_line
+    assert "0 invariant violation(s)" in summary_line
+    # stdout is identical to the untraced run (tracing never perturbs; the
+    # synthetic table's Violations column is --validate's, so keep it on;
+    # the wall-clock note is nondeterministic either way, so strip it).
+    plain_code = main(
+        ["synthetic", "--scale", "smoke", "--workloads", "2", "--seed", "7", "--validate"]
+    )
+    plain = capsys.readouterr()
+    assert plain_code == 0
+
+    def strip_wallclock(text):
+        return [line for line in text.splitlines() if "Wall-clock" not in line]
+
+    assert strip_wallclock(plain.out) == strip_wallclock(captured.out)
 
 
 def test_main_runs_synthetic_experiment_with_validation(capsys):

@@ -1,0 +1,77 @@
+"""Shared scenario builders for the telemetry tests.
+
+The telemetry tests need a *preempting* scenario: a long low-priority kernel
+resident on every SM when a high-priority kernel arrives, so the PPQ policy
+reserves SMs and the mechanism's full request → save → restore lifecycle is
+exercised.  The default 4 MiB input/output transfers of
+``TraceGenerator.uniform_kernel`` dominate the timeline at this size (the
+kernels would never overlap), so the builders here use small transfers and
+tuned arrival times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.gpu.config import GPUConfig, SystemConfig
+from repro.system import GPUSystem
+from repro.trace.generator import KernelPhase, TraceGenerator
+from repro.trace.schema import ApplicationTrace, KernelSpec
+from repro.gpu.resources import ResourceUsage
+
+KIB = 1024
+
+
+def compact_trace(
+    name: str, *, num_blocks: int, tb_time_us: float, cpu_time_us: float = 5.0
+) -> ApplicationTrace:
+    """A single-kernel application with small (64 KiB) transfers."""
+    spec = KernelSpec(
+        name=f"{name}_kernel",
+        benchmark=name,
+        num_thread_blocks=num_blocks,
+        avg_tb_time_us=tb_time_us,
+        usage=ResourceUsage(registers_per_block=8192, shared_memory_per_block=0),
+    )
+    generator = TraceGenerator()
+    return generator.build(
+        name,
+        phases=[KernelPhase(kernel=spec, launches=1, cpu_time_us=cpu_time_us)],
+        input_bytes=64 * KIB,
+        output_bytes=64 * KIB,
+        setup_cpu_time_us=50.0,
+        teardown_cpu_time_us=10.0,
+    )
+
+
+def preempting_system(
+    *, num_sms: int = 13, background_blocks: int = 400, interactive_delay_us: float = 150.0,
+    **system_kwargs,
+) -> GPUSystem:
+    """A system whose PPQ policy preempts a long background kernel.
+
+    The background kernel occupies every SM for several waves; the
+    interactive process arrives mid-window and, being higher priority,
+    forces SM reservations (and therefore preemptions).
+    """
+    config = SystemConfig(gpu=dataclasses.replace(GPUConfig(), num_sms=num_sms))
+    system = GPUSystem(
+        config,
+        policy="ppq",
+        mechanism=system_kwargs.pop("mechanism", "context_switch"),
+        transfer_policy="npq",
+        **system_kwargs,
+    )
+    background = compact_trace(
+        "background", num_blocks=background_blocks, tb_time_us=50.0
+    )
+    interactive = compact_trace("interactive", num_blocks=2 * num_sms, tb_time_us=10.0)
+    system.add_process("background", background, priority=0, max_iterations=1)
+    system.add_process(
+        "interactive",
+        interactive,
+        priority=10,
+        start_delay_us=interactive_delay_us,
+        max_iterations=1,
+    )
+    return system

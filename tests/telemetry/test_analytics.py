@@ -1,0 +1,181 @@
+"""Tests for the derived trace analytics (latency stats, timelines, spans)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import events as ev
+from repro.telemetry.analytics import (
+    derive_spans,
+    latency_stats,
+    occupancy_timeline,
+    percentile,
+    preemption_latencies,
+    queueing_delays,
+    sm_busy_fractions,
+    summarize,
+)
+from repro.telemetry.events import TraceEvent
+
+
+def E(seq, time_us, kind, **attrs):
+    return TraceEvent(seq=seq, time_us=time_us, kind=kind, attrs=attrs)
+
+
+class TestPercentiles:
+    def test_nearest_rank_is_an_observed_sample(self):
+        samples = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(samples, 0.5) == 3.0
+        assert percentile(samples, 0.95) == 9.0
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 9.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_latency_stats_shape(self):
+        stats = latency_stats([2.0, 4.0, 6.0])
+        assert stats == {"count": 3, "mean": 4.0, "p50": 4.0, "p95": 6.0, "max": 6.0}
+        assert latency_stats([])["count"] == 0
+
+
+class TestPreemptionLatencies:
+    def test_groups_by_mechanism(self):
+        events = [
+            E(0, 1.0, ev.PREEMPT_COMPLETE, sm=0, mechanism="context_switch",
+              evicted=2, latency_us=16.0),
+            E(1, 2.0, ev.PREEMPT_COMPLETE, sm=1, mechanism="draining",
+              evicted=0, latency_us=140.0),
+            E(2, 3.0, ev.PREEMPT_COMPLETE, sm=0, mechanism="context_switch",
+              evicted=1, latency_us=12.0),
+        ]
+        assert preemption_latencies(events) == {
+            "context_switch": [16.0, 12.0],
+            "draining": [140.0],
+        }
+
+    def test_completions_without_latency_are_skipped(self):
+        events = [E(0, 1.0, ev.PREEMPT_COMPLETE, sm=0, mechanism="draining", evicted=0)]
+        assert preemption_latencies(events) == {}
+
+
+class TestOccupancy:
+    def test_timeline_and_busy_fraction(self):
+        events = [
+            E(0, 0.0, ev.BLOCK_START, sm=0, launch=1, block=0, resident=1),
+            E(1, 4.0, ev.BLOCK_FINISH, sm=0, launch=1, block=0, resident=0),
+            E(2, 6.0, ev.BLOCK_START, sm=0, launch=1, block=1, resident=1),
+            E(3, 8.0, ev.PREEMPT_SAVE_START, sm=0, evicted=1),
+        ]
+        timeline = occupancy_timeline(events)
+        assert timeline == {0: [(0.0, 1), (4.0, 0), (6.0, 1), (8.0, 0)]}
+        fractions = sm_busy_fractions(timeline, end_us=10.0)
+        assert fractions[0] == pytest.approx(0.6)  # busy 0-4 and 6-8
+
+    def test_open_residency_counts_to_end(self):
+        timeline = {1: [(0.0, 2)]}
+        assert sm_busy_fractions(timeline, end_us=5.0)[1] == pytest.approx(1.0)
+
+
+class TestQueueingDelays:
+    def test_enqueue_to_issue_wait_per_engine(self):
+        events = [
+            E(0, 0.0, ev.KERNEL_ENQUEUE, cmd=0, queue=0, kernel="k", launch=1,
+              blocks=4, process="p", stream=0),
+            E(1, 3.0, ev.TRANSFER_ENQUEUE, cmd=1, queue=1, bytes=64,
+              direction="h2d", process="p", stream=0),
+            E(2, 5.0, ev.KERNEL_ISSUE, cmd=0, queue=0, kernel="k", launch=1,
+              blocks=4, process="p", stream=0),
+            E(3, 4.0, ev.TRANSFER_START, cmd=1, queue=1, bytes=64,
+              direction="h2d", process="p", stream=0),
+        ]
+        assert queueing_delays(events) == {"kernel": [5.0], "transfer": [1.0]}
+
+
+class TestSpans:
+    def test_block_preemption_and_kernel_spans(self):
+        events = [
+            E(0, 0.0, ev.KERNEL_LAUNCH, launch=1, kernel="app.k", process="app#0",
+              blocks=2, blocks_per_sm=2),
+            E(1, 1.0, ev.BLOCK_START, sm=0, launch=1, block=0, resident=1),
+            E(2, 2.0, ev.PREEMPT_REQUEST, sm=0, mechanism="context_switch", resident=1),
+            E(3, 3.0, ev.PREEMPT_SAVE_START, sm=0, evicted=1),
+            E(4, 4.0, ev.PREEMPT_COMPLETE, sm=0, mechanism="context_switch",
+              evicted=1, latency_us=2.0),
+            E(5, 5.0, ev.BLOCK_RESTORE, sm=1, launch=1, block=0, resident=1),
+            E(6, 7.0, ev.BLOCK_FINISH, sm=1, launch=1, block=0, resident=0),
+            E(7, 8.0, ev.KERNEL_COMPLETE, launch=1, kernel="app.k", process="app#0"),
+        ]
+        spans = derive_spans(events, end_us=10.0)
+        by_category = {}
+        for span in spans:
+            by_category.setdefault(span.category, []).append(span)
+
+        # The eviction splits the block into two residency spans.
+        blocks = by_category["block"]
+        assert [(s.start_us, s.end_us, s.track) for s in blocks] == [
+            (1.0, 3.0, "SM00"),
+            (5.0, 7.0, "SM01"),
+        ]
+        assert blocks[0].attrs["restored"] is False
+        assert blocks[1].attrs["restored"] is True
+
+        (preemption,) = by_category["preemption"]
+        assert (preemption.start_us, preemption.end_us) == (2.0, 4.0)
+        (kernel,) = by_category["kernel"]
+        assert (kernel.start_us, kernel.end_us, kernel.track) == (0.0, 8.0, "app#0")
+
+    def test_unfinished_spans_close_at_end(self):
+        events = [
+            E(0, 2.0, ev.BLOCK_START, sm=3, launch=9, block=5, resident=1),
+        ]
+        (span,) = derive_spans(events, end_us=6.0)
+        assert (span.start_us, span.end_us, span.duration_us) == (2.0, 6.0, 4.0)
+
+    def test_truncated_run_keeps_inflight_transfer_and_preemption(self):
+        # A run cut off mid-flight (e.g. max_events) must still show its
+        # in-flight DMA, preemption window and CPU phase.
+        events = [
+            E(0, 1.0, ev.TRANSFER_START, cmd=0, queue=0, bytes=64,
+              direction="h2d", process="p", stream=0),
+            E(1, 2.0, ev.PREEMPT_REQUEST, sm=0, mechanism="draining", resident=3),
+            E(2, 3.0, ev.CPU_PHASE_START, label="p.cpu", duration_us=9.0),
+        ]
+        spans = derive_spans(events, end_us=5.0)
+        categories = {span.category: span for span in spans}
+        assert set(categories) == {"transfer", "preemption", "cpu"}
+        assert all(span.end_us == 5.0 for span in spans)
+        assert categories["transfer"].track == "DMA"
+        assert categories["preemption"].track == "SM00"
+
+    def test_cpu_phases_pair_fifo_per_label(self):
+        events = [
+            E(0, 0.0, ev.CPU_PHASE_START, label="p.cpu", duration_us=2.0),
+            E(1, 1.0, ev.CPU_PHASE_START, label="p.cpu", duration_us=3.0),
+            E(2, 2.0, ev.CPU_PHASE_END, label="p.cpu"),
+            E(3, 4.0, ev.CPU_PHASE_END, label="p.cpu"),
+        ]
+        spans = derive_spans(events, end_us=5.0)
+        assert [(s.start_us, s.end_us) for s in spans] == [(0.0, 2.0), (1.0, 4.0)]
+
+
+class TestSummarize:
+    def test_summary_is_json_shaped_and_complete(self):
+        import json
+
+        events = [
+            E(0, 1.0, ev.PREEMPT_COMPLETE, sm=0, mechanism="draining",
+              evicted=0, latency_us=7.0),
+            E(1, 2.0, ev.BLOCK_START, sm=0, launch=1, block=0, resident=1),
+        ]
+        summary = summarize(events, now_us=4.0, artifacts=["out/trace.json"])
+        json.dumps(summary)  # must be JSON-serialisable
+        assert summary["events_total"] == 2
+        assert summary["counts"] == {ev.BLOCK_START: 1, ev.PREEMPT_COMPLETE: 1}
+        assert summary["preemption"]["draining"]["count"] == 1
+        assert summary["preemption_latencies_us"] == {"draining": [7.0]}
+        assert summary["artifacts"] == ["out/trace.json"]
+        assert summary["simulated_time_us"] == 4.0

@@ -1,0 +1,143 @@
+"""Tests for the trace exporters, including the golden Chrome-trace fixture.
+
+The golden fixture freezes the full Chrome trace-event export of a small,
+fully deterministic preempting scenario.  The simulation and the exporters
+are deterministic, so the export must match *byte for byte*: any change to
+event emission order, identifier normalisation or exporter layout fails here
+instead of silently breaking archived traces.
+
+To regenerate after an *intentional* change, run this module directly
+(``python tests/telemetry/test_export.py``) and commit the updated fixture
+together with an explanation of the drift.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+
+import pytest
+
+from _builders import preempting_system
+from repro.telemetry.export import (
+    ascii_gantt,
+    iter_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+FIXTURE = GOLDEN_DIR / "trace_chrome_small.json"
+
+
+def _golden_system():
+    """A tiny deterministic scenario with every event kind represented.
+
+    Two SMs keep the trace small while still forcing the PPQ policy to
+    preempt the background kernel when the high-priority process arrives.
+    """
+    return preempting_system(
+        num_sms=2, background_blocks=60, interactive_delay_us=60.0, trace=True
+    )
+
+
+def _golden_export() -> str:
+    system = _golden_system()
+    system.run(max_events=1_000_000)
+    buffer = io.StringIO()
+    write_chrome_trace(system.telemetry.events, buffer, end_us=system.simulator.now)
+    return buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def golden_run():
+    system = _golden_system()
+    system.run(max_events=1_000_000)
+    return system
+
+
+class TestChromeTrace:
+    def test_matches_golden_fixture_byte_for_byte(self):
+        assert _golden_export() == FIXTURE.read_text().rstrip("\n"), (
+            f"Chrome trace export drifted from {FIXTURE}; if the change is "
+            "intentional, regenerate the fixture (see module docstring)"
+        )
+
+    def test_document_structure(self, golden_run):
+        document = to_chrome_trace(
+            golden_run.telemetry.events, end_us=golden_run.simulator.now
+        )
+        assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+        # Metadata names every pid/tid exactly once.
+        names = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        process_names = {e["args"]["name"] for e in names if e["name"] == "process_name"}
+        thread_names = {e["args"]["name"] for e in names if e["name"] == "thread_name"}
+        assert process_names == {"GPU", "Host"}
+        assert {"SM00", "SM01", "CPU", "DMA"} <= thread_names
+        # Every slice/instant refers to a named pid/tid.
+        pids = {e["pid"] for e in names if e["name"] == "process_name"}
+        assert {e["pid"] for e in document["traceEvents"]} <= pids
+
+    def test_preemption_slices_present(self, golden_run):
+        document = to_chrome_trace(
+            golden_run.telemetry.events, end_us=golden_run.simulator.now
+        )
+        slices = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "preemption"
+        ]
+        assert slices
+        assert all(s["dur"] > 0 for s in slices)
+
+
+class TestJsonl:
+    def test_round_trips_every_event(self, golden_run):
+        events = golden_run.telemetry.events
+        lines = list(iter_jsonl(events))
+        assert len(lines) == len(events)
+        for line, event in zip(lines, events):
+            assert json.loads(line) == event.to_dict()
+
+    def test_write_to_path(self, golden_run, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(golden_run.telemetry.events, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == golden_run.telemetry.num_events
+
+
+class TestAsciiGantt:
+    def test_renders_tracks_and_preemption_marker(self, golden_run):
+        art = ascii_gantt(
+            golden_run.telemetry.events, width=60, end_us=golden_run.simulator.now
+        )
+        assert "SM00" in art and "SM01" in art
+        assert "CPU" in art and "DMA" in art
+        assert "P" in art  # the preemption window is overlaid
+        assert "#" in art
+
+    def test_empty_trace(self):
+        assert ascii_gantt([]) == "(empty trace)"
+
+    def test_rejects_tiny_width(self, golden_run):
+        with pytest.raises(ValueError):
+            ascii_gantt(golden_run.telemetry.events, width=4)
+
+
+def test_fixture_exists_and_parses():
+    document = json.loads(FIXTURE.read_text())
+    assert document["traceEvents"], "golden Chrome trace fixture is empty"
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Rewrite the golden Chrome-trace fixture from the current export."""
+    FIXTURE.write_text(_golden_export() + "\n")
+    print(f"regenerated {FIXTURE}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()
