@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Per-request preemption control: hybrid and adaptive mechanism selection.
+
+The paper (Sec. 3.2) presents context switching and SM draining as two
+points on a latency-vs-overhead tradeoff and argues the hardware could pick
+between them dynamically, per preemption.  This example does exactly that:
+a high-priority process repeatedly preempts a mix of low-priority kernels —
+one with short (4 us) thread blocks, one with long (120 us) thread blocks —
+under four preemption controllers:
+
+* ``static`` x2 — the legacy fixed mechanisms (the tradeoff's endpoints),
+* ``hybrid``  — drain when the estimated drain fits a 20 us deadline, fall
+  back to the context switch when it does not,
+* ``adaptive`` — pick whichever mechanism minimizes estimated SM-idle time.
+
+For each controller it reports the mechanism mix the controller actually
+chose (from the telemetry preemption spans, each tagged with the chosen
+mechanism), the preemption-latency distribution, and the high-priority
+process's mean turnaround.
+
+Run with:  python examples/hybrid_preemption.py
+"""
+
+from __future__ import annotations
+
+from repro import GPUSystem
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.resources import ResourceUsage
+from repro.telemetry.analytics import latency_stats, preemption_latencies
+from repro.trace.generator import KernelPhase, TraceGenerator
+from repro.trace.schema import ApplicationTrace
+
+KIB = 1024
+
+
+def kernel(name: str, blocks: int, tb_time_us: float) -> KernelSpec:
+    return KernelSpec(
+        name=name,
+        benchmark=name,
+        num_thread_blocks=blocks,
+        avg_tb_time_us=tb_time_us,
+        usage=ResourceUsage(registers_per_block=8192, shared_memory_per_block=0),
+    )
+
+
+def app(name: str, phases) -> ApplicationTrace:
+    return TraceGenerator().build(
+        name,
+        phases=phases,
+        input_bytes=64 * KIB,
+        output_bytes=64 * KIB,
+        setup_cpu_time_us=5.0,
+        teardown_cpu_time_us=5.0,
+    )
+
+
+def build_system(**system_kwargs) -> GPUSystem:
+    """Two low-priority batch processes plus a bursty high-priority one."""
+    system = GPUSystem(policy="ppq", transfer_policy="npq", trace=True, **system_kwargs)
+    system.add_process(
+        "short-blocks",
+        app("short", [KernelPhase(kernel("short", 8000, 4.0), cpu_time_us=1.0)]),
+        priority=1,
+        max_iterations=1,
+    )
+    system.add_process(
+        "long-blocks",
+        app("long", [KernelPhase(kernel("long", 2000, 120.0), cpu_time_us=1.0)]),
+        priority=0,
+        start_delay_us=0.1,
+        max_iterations=1,
+    )
+    # Three bursts: the first lands in the short phase (cheap to drain), the
+    # later two — spaced by long CPU phases — land in the long phase
+    # (expensive to drain).  Each phase's CPU time precedes its launch.
+    system.add_process(
+        "interactive",
+        app(
+            "interactive",
+            [
+                KernelPhase(kernel("burst0", 52, 5.0), cpu_time_us=20.0),
+                KernelPhase(kernel("burst1", 52, 5.0), cpu_time_us=400.0),
+                KernelPhase(kernel("burst2", 52, 5.0), cpu_time_us=400.0),
+            ],
+        ),
+        priority=10,
+        start_delay_us=30.0,
+        max_iterations=1,
+    )
+    return system
+
+
+def main() -> None:
+    configurations = [
+        ("static (context switch)", dict(mechanism="context_switch")),
+        ("static (draining)", dict(mechanism="draining")),
+        ("hybrid (20 us deadline)", dict(controller="hybrid",
+                                         controller_options={"drain_budget_us": 20.0})),
+        ("adaptive (cost model)", dict(controller="adaptive")),
+    ]
+    header = (
+        f"{'controller':<26} {'mechanism mix':<34} {'p50':>7} {'p95':>7} "
+        f"{'max':>8} {'interactive (us)':>17}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, kwargs in configurations:
+        system = build_system(**kwargs)
+        system.run(max_events=10_000_000)
+        samples = preemption_latencies(system.telemetry.events)
+        mix = " ".join(
+            f"{mechanism}:{len(values)}" for mechanism, values in sorted(samples.items())
+        )
+        merged = [latency for values in samples.values() for latency in values]
+        stats = latency_stats(merged)
+        interactive = system.process("interactive").mean_iteration_time_us()
+        print(
+            f"{label:<26} {mix:<34} {stats['p50']:>7.2f} {stats['p95']:>7.2f} "
+            f"{stats['max']:>8.2f} {interactive:>17.1f}"
+        )
+    print()
+    print("hybrid drains the cheap preemptions (short blocks within the deadline)")
+    print("and context-switches the expensive ones, so its latency tail is capped")
+    print("while it moves less state than always context switching.")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,9 +30,11 @@ Typical entry points:
 
 from repro.gpu.config import GPUConfig, PCIeConfig, SchedulerConfig, SystemConfig
 from repro.registry import (
+    CONTROLLERS,
     MECHANISMS,
     POLICIES,
     TRANSFER_POLICIES,
+    register_controller,
     register_mechanism,
     register_policy,
     register_transfer_policy,
@@ -58,9 +60,11 @@ __all__ = [
     "TraceCollector",
     "POLICIES",
     "MECHANISMS",
+    "CONTROLLERS",
     "TRANSFER_POLICIES",
     "register_policy",
     "register_mechanism",
+    "register_controller",
     "register_transfer_policy",
     "__version__",
 ]

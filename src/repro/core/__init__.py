@@ -2,7 +2,8 @@
 scheduling framework, and scheduling policies.
 
 * :mod:`repro.core.preemption` — the two preemption mechanisms of Sec. 3.2
-  (context switch and SM draining).
+  (context switch and SM draining) and the per-request preemption
+  controllers (``static``, ``hybrid``, ``adaptive``) that pick between them.
 * :mod:`repro.core.framework` — the scheduling framework of Sec. 3.3
   (command buffers, active queue, KSRT, SMST, PTBQ).
 * :mod:`repro.core.policies` — scheduling policies built on the framework:
@@ -21,10 +22,14 @@ from repro.core.framework import (
     SMStatusTable,
 )
 from repro.core.preemption import (
+    AdaptiveController,
     ContextSwitchMechanism,
     DrainingMechanism,
+    HybridController,
+    PreemptionController,
     PreemptionMechanism,
-    make_mechanism,
+    PreemptionRequest,
+    StaticController,
 )
 from repro.core.policies import (
     DynamicSpatialSharingPolicy,
@@ -32,8 +37,38 @@ from repro.core.policies import (
     NonPreemptivePriorityPolicy,
     PreemptivePriorityPolicy,
     SchedulingPolicy,
-    make_policy,
 )
+
+#: Legacy factory re-exports that have moved to the component registries.
+#: Accessing them through ``repro.core`` still works but warns once; use
+#: ``repro.registry.POLICIES.create(...)`` / ``MECHANISMS.create(...)`` (or
+#: the factories in their defining modules) instead.
+_DEPRECATED_FACTORIES = ("make_policy", "make_mechanism")
+_deprecation_warned: set = set()
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_FACTORIES:
+        if name not in _deprecation_warned:
+            _deprecation_warned.add(name)
+            import warnings
+
+            warnings.warn(
+                f"importing {name!r} from repro.core is deprecated; look the "
+                "component up in repro.registry (POLICIES/MECHANISMS/"
+                "CONTROLLERS) or import the factory from its defining module",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if name == "make_policy":
+            from repro.core.policies import make_policy
+
+            return make_policy
+        from repro.core.preemption import make_mechanism
+
+        return make_mechanism
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ActiveQueue",
@@ -47,11 +82,17 @@ __all__ = [
     "PreemptionMechanism",
     "ContextSwitchMechanism",
     "DrainingMechanism",
-    "make_mechanism",
+    "PreemptionController",
+    "PreemptionRequest",
+    "StaticController",
+    "HybridController",
+    "AdaptiveController",
+    # make_policy / make_mechanism are deliberately NOT in __all__: they are
+    # deprecated re-exports served (with a one-time warning) by __getattr__,
+    # and a star-import must not trigger the warning.
     "SchedulingPolicy",
     "FCFSPolicy",
     "NonPreemptivePriorityPolicy",
     "PreemptivePriorityPolicy",
     "DynamicSpatialSharingPolicy",
-    "make_policy",
 ]

@@ -145,6 +145,18 @@ class SchedulingFramework:
         """KSR index currently tracking the given kernel launch."""
         return self.ksrt.index_for_launch(launch_id)
 
+    def priority_of(self, ksr_index: Optional[int]) -> Optional[int]:
+        """Scheduling priority of the kernel at ``ksr_index`` (or ``None``).
+
+        Used by the execution engine when it snapshots a
+        :class:`~repro.core.preemption.controller.PreemptionRequest`: the
+        incoming and resident kernel priorities are part of the per-request
+        decision context handed to preemption controllers.
+        """
+        if not self.ksr_valid(ksr_index):
+            return None
+        return self.ksrt.get(ksr_index).priority
+
     def kernel_has_issuable_work(self, ksr_index: int) -> bool:
         """Whether the kernel has blocks that an SM could be given.
 

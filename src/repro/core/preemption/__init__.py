@@ -14,10 +14,25 @@ policy marks an SM *reserved*:
   resident blocks and is unbounded for persistent kernels.
 
 Scheduling policies are completely oblivious to which mechanism is in use.
+
+Which mechanism handles a given preemption is decided per request by a
+*preemption controller* (:mod:`repro.core.preemption.controller`): ``static``
+reproduces the legacy one-mechanism behaviour, ``hybrid`` drains under a
+deadline and falls back to the context switch, and ``adaptive`` picks the
+mechanism with the lower estimated SM-idle cost.
 """
 
 from repro.core.preemption.base import PreemptionHost, PreemptionMechanism
 from repro.core.preemption.context_switch import ContextSwitchMechanism
+from repro.core.preemption.controller import (
+    AdaptiveController,
+    HybridController,
+    PreemptionController,
+    PreemptionRequest,
+    ResidentBlockInfo,
+    StaticController,
+    make_controller,
+)
 from repro.core.preemption.draining import DrainingMechanism
 
 
@@ -37,5 +52,12 @@ __all__ = [
     "PreemptionHost",
     "ContextSwitchMechanism",
     "DrainingMechanism",
+    "PreemptionController",
+    "PreemptionRequest",
+    "ResidentBlockInfo",
+    "StaticController",
+    "HybridController",
+    "AdaptiveController",
+    "make_controller",
     "make_mechanism",
 ]

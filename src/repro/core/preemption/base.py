@@ -1,7 +1,13 @@
 """Base interface for preemption mechanisms.
 
-A mechanism is bound to a *host* (the execution engine / SM driver) and is
-invoked in two situations:
+A mechanism is a *stateless-per-request strategy*: it is bound once to a
+*host* (the execution engine / SM driver), keeps all transient bookkeeping
+keyed by SM id, and can therefore serve any number of interleaved preemptions
+on different SMs.  Which mechanism handles a given preemption request is
+decided by the engine's :class:`~repro.core.preemption.controller.PreemptionController`
+— the same instance may free SM0 while a different mechanism frees SM1.
+
+A mechanism is invoked in two situations:
 
 * :meth:`PreemptionMechanism.initiate` — the scheduling policy just reserved
   the SM; the mechanism must free it (immediately, by saving state, or by
@@ -48,7 +54,13 @@ class PreemptionHost(Protocol):
 
 
 class PreemptionMechanism(abc.ABC):
-    """Abstract preemption mechanism."""
+    """Abstract preemption mechanism (a per-SM-keyed strategy).
+
+    Per-preemption state (reservation timestamps, scheduled save/drain
+    events) must be keyed by ``sm_id`` so one bound instance can handle
+    concurrent preemptions of different SMs; instance-wide state is reserved
+    for statistics.
+    """
 
     #: Short name used in experiment reports ("context_switch" / "draining").
     name: str = "abstract"

@@ -15,7 +15,11 @@ Timing model
   (e.g. 16.2 µs for a fully occupied SM running ``lbm.StreamCollide``).
 * Restoring a preempted block before it resumes costs its own state bytes
   over the same bandwidth share; the SM driver adds that latency when it
-  re-issues the block from the PTBQ.
+  re-issues the block from the PTBQ (routed back to this mechanism by the
+  engine, which remembers each block's evictor — mechanisms are chosen per
+  preemption request by a
+  :class:`~repro.core.preemption.controller.PreemptionController`, so a
+  context-switched block may be restored while other SMs drain).
 """
 
 from __future__ import annotations

@@ -11,7 +11,10 @@ execution time of the currently resident blocks and the mechanism cannot
 preempt kernels with very long (or persistent/never-terminating) thread
 blocks at all.  The repository demonstrates that failure mode in
 ``tests/core/test_preemption_mechanisms.py`` and the persistent-kernel
-example.
+example.  The ``hybrid`` and ``adaptive`` preemption controllers
+(:mod:`repro.core.preemption.controller`) exist precisely to sidestep it:
+they only route a preemption request here when the estimated drain time is
+acceptable, falling back to the context switch otherwise.
 """
 
 from __future__ import annotations

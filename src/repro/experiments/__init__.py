@@ -12,6 +12,11 @@ rows/series the paper reports:
 * :mod:`repro.experiments.figure6` — Figure 6 (STP degradation of PPQ).
 * :mod:`repro.experiments.figure7` — Figure 7 (DSS: NTT, fairness, STP).
 * :mod:`repro.experiments.figure8` — Figure 8 (ANTT across all workloads).
+* :mod:`repro.experiments.preemption_latency` — per-mechanism preemption
+  latency distributions (telemetry-measured).
+* :mod:`repro.experiments.mechanism_choice` — the latency-vs-overhead
+  tradeoff as a preemption-*controller* comparison (static endpoints vs
+  hybrid/adaptive per-request selection).
 
 ``repro-experiments`` (see :mod:`repro.experiments.cli`) runs them from the
 command line; ``benchmarks/`` wraps each one in pytest-benchmark.

@@ -36,8 +36,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.experiments import dss_data, priority_data
 from repro.experiments import figure2, figure5, figure6, figure7, figure8, table1, table2
 from repro.experiments import preemption_latency, synthetic
+from repro.experiments import mechanism_choice
 from repro.experiments.base import ExperimentConfig, ExperimentResult
-from repro.registry import MECHANISMS, POLICIES, TRANSFER_POLICIES
+from repro.registry import CONTROLLERS, MECHANISMS, POLICIES, TRANSFER_POLICIES
 
 #: Experiment name -> runner.  Runners that share simulation data accept it
 #: through keyword arguments; the CLI wires that up in :func:`run_selected`.
@@ -51,6 +52,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "figure8": figure8.run,
     "synthetic": synthetic.run,
     "preemption_latency": preemption_latency.run,
+    "mechanism_choice": mechanism_choice.run,
 }
 
 
@@ -235,12 +237,15 @@ def format_listing() -> str:
     for title, registry in (
         ("Scheduling policies", POLICIES),
         ("Preemption mechanisms", MECHANISMS),
+        ("Preemption controllers", CONTROLLERS),
         ("Transfer scheduling policies", TRANSFER_POLICIES),
     ):
         lines.append("")
         lines.append(f"{title}:")
         for name, description in registry.describe().items():
-            lines.append(f"  {name:<15} {description}")
+            entry = registry.entry(name)
+            aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+            lines.append(f"  {name:<15} {description}{aliases}")
     return "\n".join(lines)
 
 

@@ -23,12 +23,12 @@ trace artifacts are exported as well::
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.experiments.priority_data import PRIORITY_SCHEMES
 from repro.runner import RunRecord
-from repro.scenario import ScenarioSpec
+from repro.scenario import ScenarioSpec, SchemeSpec
 from repro.workloads.multiprogram import generate_priority_workloads
 from repro.workloads.synthetic import generate_synthetic_scenarios
 from repro.telemetry.analytics import latency_stats
@@ -38,8 +38,14 @@ from repro.telemetry.analytics import latency_stats
 SCHEMES = ("ppq_cs", "ppq_drain")
 
 
-def _parboil_scenarios(config: ExperimentConfig) -> List[Tuple[str, ScenarioSpec]]:
-    """(scheme label, spec) for the paper's priority workloads, traced."""
+def parboil_latency_scenarios(
+    config: ExperimentConfig, schemes: Mapping[str, SchemeSpec]
+) -> List[Tuple[str, ScenarioSpec]]:
+    """(scheme key, spec) for the paper's priority workloads, traced.
+
+    Shared by this experiment and :mod:`repro.experiments.mechanism_choice`
+    (which compares preemption *controllers* over the same workloads).
+    """
     benchmarks = list(config.benchmarks) if config.benchmarks else None
     out: List[Tuple[str, ScenarioSpec]] = []
     for process_count in config.process_counts:
@@ -50,13 +56,13 @@ def _parboil_scenarios(config: ExperimentConfig) -> List[Tuple[str, ScenarioSpec
             benchmarks=benchmarks,
         )
         for spec in workloads:
-            for scheme_name in SCHEMES:
+            for scheme_name, scheme in schemes.items():
                 out.append(
                     (
                         scheme_name,
                         ScenarioSpec.for_workload(
                             spec,
-                            PRIORITY_SCHEMES[scheme_name],
+                            scheme,
                             scale=config.scale,
                             validate=config.validate,
                             trace=True,
@@ -66,6 +72,13 @@ def _parboil_scenarios(config: ExperimentConfig) -> List[Tuple[str, ScenarioSpec
     return out
 
 
+def _parboil_scenarios(config: ExperimentConfig) -> List[Tuple[str, ScenarioSpec]]:
+    """(scheme label, spec) for the paper's priority workloads, traced."""
+    return parboil_latency_scenarios(
+        config, {name: PRIORITY_SCHEMES[name] for name in SCHEMES}
+    )
+
+
 #: SM count for the synthetic latency source.  Fuzzer kernels carry small,
 #: scale-reduced grids that cannot saturate the full 13-SM GK110, and a
 #: scheduling policy only preempts a saturated GPU; two SMs keep every
@@ -73,8 +86,10 @@ def _parboil_scenarios(config: ExperimentConfig) -> List[Tuple[str, ScenarioSpec
 SYNTHETIC_NUM_SMS = 2
 
 
-def _synthetic_scenarios(config: ExperimentConfig) -> List[Tuple[str, ScenarioSpec]]:
-    """(scheme label, spec) for fuzzer mixes re-run under both schemes.
+def synthetic_latency_scenarios(
+    config: ExperimentConfig, schemes: Mapping[str, SchemeSpec]
+) -> List[Tuple[str, ScenarioSpec]]:
+    """(scheme key, spec) for fuzzer mixes re-run under each scheme.
 
     Two adjustments make the fuzzer mixes a *latency* workload: the GPU is
     narrowed to :data:`SYNTHETIC_NUM_SMS` (small seed-derived grids cannot
@@ -96,15 +111,24 @@ def _synthetic_scenarios(config: ExperimentConfig) -> List[Tuple[str, ScenarioSp
             high_priority_index=spec.num_processes - 1,
             config_overrides={"gpu": {"num_sms": SYNTHETIC_NUM_SMS}},
         )
-        for scheme_name in SCHEMES:
-            out.append(
-                (scheme_name, dataclasses.replace(spec, scheme=PRIORITY_SCHEMES[scheme_name]))
-            )
+        for scheme_name, scheme in schemes.items():
+            out.append((scheme_name, dataclasses.replace(spec, scheme=scheme)))
     return out
 
 
-def _merge_latencies(records: List[RunRecord]) -> List[float]:
-    """Concatenate every mechanism's latency samples across records."""
+def _synthetic_scenarios(config: ExperimentConfig) -> List[Tuple[str, ScenarioSpec]]:
+    """(scheme label, spec) for fuzzer mixes re-run under both schemes."""
+    return synthetic_latency_scenarios(
+        config, {name: PRIORITY_SCHEMES[name] for name in SCHEMES}
+    )
+
+
+def merge_latency_samples(records: List[RunRecord]) -> List[float]:
+    """Concatenate every mechanism's latency samples across records.
+
+    Shared with :mod:`repro.experiments.mechanism_choice` so both consumers
+    of ``trace_summary["preemption_latencies_us"]`` stay in lockstep.
+    """
     samples: List[float] = []
     for record in records:
         summary = record.trace_summary
@@ -147,7 +171,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     )
     for (source, scheme_name) in sorted(grouped):
         scheme = PRIORITY_SCHEMES[scheme_name]
-        samples = _merge_latencies(grouped[(source, scheme_name)])
+        samples = merge_latency_samples(grouped[(source, scheme_name)])
         stats = latency_stats(samples)
         result.rows.append(
             [

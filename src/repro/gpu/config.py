@@ -187,6 +187,11 @@ class SchedulerConfig:
     #: procedure.  The paper's serial search takes ``num_sms`` cycles, which
     #: at 706 MHz is ~0.018 µs; we keep it configurable for ablations.
     policy_invocation_latency_us: float = 0.02
+    #: Optional per-preemption latency budget (µs) surfaced to preemption
+    #: controllers through :class:`~repro.core.preemption.controller.PreemptionRequest`.
+    #: ``None`` leaves budget-aware controllers (e.g. ``hybrid``) on their own
+    #: defaults; the built-in ``static`` and ``adaptive`` controllers ignore it.
+    preemption_latency_budget_us: float | None = None
 
     def active_kernel_limit(self, num_sms: int) -> int:
         """Resolve the active-kernel limit for a GPU with ``num_sms`` SMs."""

@@ -10,16 +10,31 @@ and scheduling policies).  The engine exposes three interfaces:
   policies admit kernels, set up idle SMs and reserve running SMs.
 * ``PreemptionHost`` (see :mod:`repro.core.preemption.base`) — preemption
   mechanisms schedule their latencies and hand back evicted thread blocks.
+
+Preemption is mechanism-per-request: every reservation builds a
+:class:`~repro.core.preemption.controller.PreemptionRequest` and asks the
+engine's :class:`~repro.core.preemption.controller.PreemptionController`
+which mechanism frees *this* SM *this* time.  The engine keeps one bound
+instance per mechanism name (created lazily through
+:data:`repro.registry.MECHANISMS`) and tracks the in-flight mechanism per SM
+so completions, natural block completions and restores route to the
+mechanism that actually owns the preemption.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.framework.framework import SchedulingFramework
 from repro.core.framework.tables import KernelStatusEntry
 from repro.core.policies.base import SchedulingPolicy
 from repro.core.preemption.base import PreemptionMechanism
+from repro.core.preemption.controller import (
+    PreemptionController,
+    PreemptionRequest,
+    ResidentBlockInfo,
+    StaticController,
+)
 from repro.gpu.command_queue import Command, KernelCommand
 from repro.gpu.config import SystemConfig
 from repro.gpu.context import ContextTable, GPUContext
@@ -42,14 +57,30 @@ class ExecutionEngine:
         *,
         policy: SchedulingPolicy,
         mechanism: PreemptionMechanism,
+        controller: Optional[PreemptionController] = None,
         context_table: Optional[ContextTable] = None,
     ):
         self._sim = simulator
         self._config = config
         self.policy = policy
+        #: Default preemption mechanism: the ``static`` controller's choice
+        #: and the fallback for restores whose evicting mechanism is unknown.
         self.mechanism = mechanism
+        #: Per-request mechanism selector (default: static = legacy behaviour).
+        self.controller = (
+            controller
+            if controller is not None
+            else StaticController(mechanism=mechanism.name)
+        )
+        #: Bound mechanism instances, keyed by mechanism name.
+        self._mechanisms: Dict[str, PreemptionMechanism] = {mechanism.name: mechanism}
+        #: SM id -> mechanism handling the SM's in-flight preemption.
+        self._inflight_mechanisms: Dict[int, PreemptionMechanism] = {}
+        #: Block key -> mechanism that evicted it (consulted for restores).
+        self._evicted_by: Dict[Tuple[int, int], PreemptionMechanism] = {}
         self.context_table = context_table if context_table is not None else ContextTable()
 
+        self.controller.bind(self)
         self.framework = SchedulingFramework(config)
         self.occupancy = OccupancyCalculator(config.gpu)
         self._sms: List[StreamingMultiprocessor] = [
@@ -147,31 +178,158 @@ class ExecutionEngine:
         self.sm_driver.setup_sm(sm_id, ksr_index)
 
     def reserve_sm(self, sm_id: int, next_ksr_index: Optional[int]) -> None:
-        """Reserve a running SM for another kernel (policy operation)."""
+        """Reserve a running SM for another kernel (policy operation).
+
+        The preemption controller is consulted with a fresh
+        :class:`PreemptionRequest`; the chosen mechanism owns this SM's
+        preemption until it calls :meth:`preemption_complete`.
+        """
         self.framework.mark_sm_reserved(sm_id, next_ksr_index)
         sm = self._sms[sm_id]
         sm.state = SMState.RESERVED
         self.stats.counter("sm_reservations").add()
+        # Request-independent controllers (static) skip the snapshot: the
+        # legacy hot path pays no per-preemption bookkeeping it would discard.
+        request = (
+            self.build_preemption_request(sm_id, next_ksr_index)
+            if self.controller.needs_request
+            else None
+        )
+        mechanism = self.mechanism_named(self.controller.decide(request))
+        self._inflight_mechanisms[sm_id] = mechanism
+        self.stats.counter(f"preemptions_via.{mechanism.name}").add()
         if self.observer is not None:
             # Before initiate(): observers see the request strictly before
             # any save/complete notification of the same preemption.
-            self.observer.on_sm_reserved(sm, next_ksr_index)
-        self.mechanism.initiate(sm)
+            self.observer.on_sm_reserved(sm, next_ksr_index, mechanism)
+        mechanism.initiate(sm)
 
     def update_reservation(self, sm_id: int, next_ksr_index: Optional[int]) -> None:
         """Re-target an in-flight reservation (paper Sec. 3.4 optimisation)."""
         self.framework.update_sm_reservation(sm_id, next_ksr_index)
 
     # ------------------------------------------------------------------
+    # Per-request preemption routing
+    # ------------------------------------------------------------------
+    def mechanism_named(self, name: str) -> PreemptionMechanism:
+        """The bound mechanism instance for ``name`` (created lazily).
+
+        Mechanism names and aliases resolve through
+        :data:`repro.registry.MECHANISMS`; every engine keeps at most one
+        bound instance per canonical name, so per-mechanism statistics
+        (latencies, save bytes) accumulate in one place.
+        """
+        from repro.registry import MECHANISMS  # local: avoids import cycle
+
+        mechanism = self._mechanisms.get(name)
+        if mechanism is not None:
+            return mechanism
+        canonical = MECHANISMS.canonical_name(name)
+        mechanism = self._mechanisms.get(canonical)
+        if mechanism is None:
+            mechanism = MECHANISMS.create(canonical)
+            mechanism.bind(self)
+            self._mechanisms[canonical] = mechanism
+        # Cache the alias so repeated decisions stay a dict hit.
+        self._mechanisms[name] = mechanism
+        return mechanism
+
+    def mechanisms(self) -> Dict[str, PreemptionMechanism]:
+        """Bound mechanism instances, keyed by canonical name."""
+        return {
+            name: mechanism
+            for name, mechanism in self._mechanisms.items()
+            if mechanism.name == name
+        }
+
+    def mechanism_for_sm(self, sm_id: int) -> PreemptionMechanism:
+        """The mechanism owning the SM's in-flight preemption (or the default)."""
+        return self._inflight_mechanisms.get(sm_id, self.mechanism)
+
+    def build_preemption_request(
+        self, sm_id: int, next_ksr_index: Optional[int]
+    ) -> PreemptionRequest:
+        """Snapshot the decision context of one preemption request.
+
+        Pure bookkeeping over the hardware tables — building a request never
+        schedules events or mutates model state, so controllers can be
+        consulted (and re-consulted, e.g. by tests) without perturbing the
+        simulation.
+        """
+        now = self._sim.now
+        framework = self.framework
+        gpu = self._config.gpu
+        sm = self._sms[sm_id]
+
+        resident: List[ResidentBlockInfo] = []
+        save_bytes = 0
+        estimated_drain = 0.0
+        for block in sm.resident():
+            started = block.last_start_time_us if block.last_start_time_us is not None else now
+            remaining = max(0.0, block.remaining_time_us - (now - started))
+            estimated_drain = max(estimated_drain, remaining)
+            state_bytes = 0
+            ksr_index = framework.ksr_index_for_launch(block.kernel_launch_id)
+            if ksr_index is not None:
+                usage = framework.ksr(ksr_index).launch.spec.usage
+                state_bytes = usage.state_bytes_per_block
+            save_bytes += state_bytes
+            resident.append(
+                ResidentBlockInfo(
+                    kernel_launch_id=block.kernel_launch_id,
+                    block_index=block.block_index,
+                    estimated_remaining_us=remaining,
+                    state_bytes=state_bytes,
+                )
+            )
+        resident.sort(key=lambda info: (info.kernel_launch_id, info.block_index))
+
+        bandwidth = gpu.per_sm_bandwidth_bytes_per_us
+        save_time = save_bytes / bandwidth
+        incoming_priority = framework.priority_of(next_ksr_index)
+        resident_priority = framework.priority_of(framework.sm_entry(sm_id).ksr_index)
+        return PreemptionRequest(
+            sm_id=sm_id,
+            now=now,
+            resident=tuple(resident),
+            incoming_ksr_index=next_ksr_index,
+            incoming_priority=incoming_priority,
+            resident_priority=resident_priority,
+            estimated_drain_us=estimated_drain,
+            save_bytes=save_bytes,
+            save_time_us=save_time,
+            restore_time_us=save_time,
+            pipeline_drain_us=gpu.pipeline_drain_latency_us,
+            latency_budget_us=self._config.scheduler.preemption_latency_budget_us,
+            config=self._config,
+        )
+
+    def restore_latency_us(self, block: ThreadBlock, state_bytes_per_block: int) -> float:
+        """Restore cost of a previously preempted block, per its evictor.
+
+        Routed to the mechanism that evicted the block (only the context
+        switch produces preempted state today); the engine's default
+        mechanism answers when the evictor is unknown, which preserves the
+        legacy single-mechanism behaviour exactly.
+        """
+        mechanism = self._evicted_by.pop(block.key, None)
+        if mechanism is None:
+            mechanism = self.mechanism
+        return mechanism.restore_latency_us(block, state_bytes_per_block)
+
+    # ------------------------------------------------------------------
     # PreemptionHost interface (used by preemption mechanisms)
     # ------------------------------------------------------------------
     def preemption_complete(self, sm_id: int, evicted_blocks: List[ThreadBlock]) -> None:
         """The mechanism finished freeing ``sm_id``."""
+        mechanism = self._inflight_mechanisms.pop(sm_id, self.mechanism)
         self.stats.counter("preemptions_completed").add()
         if evicted_blocks:
             self.stats.counter("thread_blocks_evicted").add(len(evicted_blocks))
+            for block in evicted_blocks:
+                self._evicted_by[block.key] = mechanism
         if self.observer is not None:
-            self.observer.on_preemption_complete(self._sms[sm_id], evicted_blocks, self.mechanism)
+            self.observer.on_preemption_complete(self._sms[sm_id], evicted_blocks, mechanism)
         self.sm_driver.complete_preemption(sm_id, evicted_blocks)
 
     # ------------------------------------------------------------------
@@ -217,5 +375,5 @@ class ExecutionEngine:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ExecutionEngine(sms={self.num_sms}, policy={self.policy.name}, "
-            f"mechanism={self.mechanism.name})"
+            f"controller={self.controller.name}, mechanism={self.mechanism.name})"
         )

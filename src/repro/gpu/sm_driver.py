@@ -137,9 +137,9 @@ class SMDriver:
         block = framework.pop_preempted_block(ksr_index)
         if block is not None:
             usage = launch.spec.usage
-            restore = self._engine.mechanism.restore_latency_us(
-                block, usage.state_bytes_per_block
-            )
+            # The engine routes the restore cost to the mechanism that
+            # evicted this block (mechanisms are chosen per preemption).
+            restore = self._engine.restore_latency_us(block, usage.state_bytes_per_block)
             self.stats.counter("blocks_reissued").add()
             return block, restore
         if launch.has_unissued_blocks:
@@ -186,8 +186,9 @@ class SMDriver:
             self._engine.finish_kernel(ksr_index)
 
         if sm_entry.state is SMState.RESERVED:
-            # The policy wants this SM; let the mechanism decide when it is free.
-            self._engine.mechanism.on_block_completed(self._engine.sm(sm_id))
+            # The policy wants this SM; the mechanism the controller picked
+            # for this preemption decides when it is free.
+            self._engine.mechanism_for_sm(sm_id).on_block_completed(self._engine.sm(sm_id))
         elif sm_entry.state is SMState.RUNNING:
             self.fill_sm(sm_id)
 

@@ -1,20 +1,22 @@
 """Component registries for the pluggable parts of the simulated system.
 
-Three registries replace the old hard-coded ``make_policy`` /
+Four registries replace the old hard-coded ``make_policy`` /
 ``make_mechanism`` string factories:
 
 * :data:`POLICIES` — scheduling policies (``fcfs``, ``npq``, ``ppq``,
   ``ppq_shared``, ``dss``, ...),
 * :data:`MECHANISMS` — preemption mechanisms (``context_switch``,
   ``draining``),
+* :data:`CONTROLLERS` — preemption controllers, consulted per preemption
+  request to pick the mechanism (``static``, ``hybrid``, ``adaptive``),
 * :data:`TRANSFER_POLICIES` — data-transfer engine scheduling policies
   (``fcfs``, ``npq``).
 
 The built-in components register themselves with the
 :func:`register_policy` / :func:`register_mechanism` /
-:func:`register_transfer_policy` decorators in their defining modules; the
-registries lazily import those modules on first lookup, so importing
-:mod:`repro.registry` alone stays cheap and cycle-free.
+:func:`register_controller` / :func:`register_transfer_policy` decorators in
+their defining modules; the registries lazily import those modules on first
+lookup, so importing :mod:`repro.registry` alone stays cheap and cycle-free.
 
 Third-party code can plug in new components without touching the core:
 
@@ -221,12 +223,17 @@ def _load_builtin_mechanisms() -> None:
     import repro.core.preemption  # noqa: F401
 
 
+def _load_builtin_controllers() -> None:
+    import repro.core.preemption.controller  # noqa: F401
+
+
 def _load_builtin_transfer_policies() -> None:
     import repro.memory.transfer_engine  # noqa: F401
 
 
 POLICIES = ComponentRegistry("scheduling policy", _load_builtin_policies)
 MECHANISMS = ComponentRegistry("preemption mechanism", _load_builtin_mechanisms)
+CONTROLLERS = ComponentRegistry("preemption controller", _load_builtin_controllers)
 TRANSFER_POLICIES = ComponentRegistry(
     "transfer scheduling policy", _load_builtin_transfer_policies
 )
@@ -242,6 +249,11 @@ def register_mechanism(name: str, *aliases: str, **kwargs):
     return MECHANISMS.register(name, *aliases, **kwargs)
 
 
+def register_controller(name: str, *aliases: str, **kwargs):
+    """Register a preemption controller class/factory (decorator)."""
+    return CONTROLLERS.register(name, *aliases, **kwargs)
+
+
 def register_transfer_policy(name: str, *aliases: str, **kwargs):
     """Register a transfer-engine scheduling policy (decorator)."""
     return TRANSFER_POLICIES.register(name, *aliases, **kwargs)
@@ -254,8 +266,10 @@ __all__ = [
     "normalize_name",
     "POLICIES",
     "MECHANISMS",
+    "CONTROLLERS",
     "TRANSFER_POLICIES",
     "register_policy",
     "register_mechanism",
+    "register_controller",
     "register_transfer_policy",
 ]

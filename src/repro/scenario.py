@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.gpu.config import SystemConfig
-from repro.registry import MECHANISMS, POLICIES, TRANSFER_POLICIES
+from repro.registry import CONTROLLERS, MECHANISMS, POLICIES, TRANSFER_POLICIES
 
 #: Priority assigned to the high-priority process of priority workloads.
 HIGH_PRIORITY = 10
@@ -130,19 +130,32 @@ def _reject_unknown_keys(cls, payload: Mapping[str, Any]) -> None:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, eq=True)
 class SchemeSpec:
-    """One scheduling scheme: policy + mechanism + transfer policy + options.
+    """One scheduling scheme: policy + mechanism + controller + options.
 
     Component names are registry names (aliases accepted); they are resolved
     lazily at build time so specs can be created before custom components are
     registered.  Instances are frozen but not hashable (``policy_options`` is
     a dict); key schemes by :attr:`name`.
+
+    ``controller`` selects the preemption controller consulted per preemption
+    request (:data:`repro.registry.CONTROLLERS`); ``None`` — the default and
+    the backward-compatible path — resolves to the ``static`` controller
+    wrapping :attr:`mechanism`, reproducing the legacy one-mechanism
+    behaviour byte-identically.  For dynamic controllers (``hybrid``,
+    ``adaptive``) the :attr:`mechanism` still names the default/fallback
+    mechanism (e.g. for restores of blocks whose evictor is unknown).
     """
 
     policy: str
     mechanism: str = "context_switch"
     transfer_policy: str = "fcfs"
     policy_options: Mapping[str, Any] = field(default_factory=dict)
-    #: Display / lookup name (defaults to ``policy`` + ``mechanism``).
+    #: Preemption-controller registry name (``None`` = static/:attr:`mechanism`).
+    controller: Optional[str] = None
+    #: Keyword options for the controller factory (e.g. ``drain_budget_us``).
+    controller_options: Mapping[str, Any] = field(default_factory=dict)
+    #: Display / lookup name (defaults to ``policy`` + ``mechanism`` or,
+    #: with a controller, ``policy`` + ``controller``).
     name: Optional[str] = None
 
     __hash__ = None  # type: ignore[assignment]
@@ -152,17 +165,30 @@ class SchemeSpec:
             raise ValueError("policy must be a non-empty string")
         if not self.mechanism or not isinstance(self.mechanism, str):
             raise ValueError("mechanism must be a non-empty string")
+        if self.controller is not None and (
+            not self.controller or not isinstance(self.controller, str)
+        ):
+            raise ValueError("controller must be None or a non-empty string")
         transfer = self.transfer_policy
         if isinstance(transfer, enum.Enum):  # accept TransferSchedulingPolicy
             object.__setattr__(self, "transfer_policy", transfer.value)
         elif not transfer or not isinstance(transfer, str):
             raise ValueError("transfer_policy must be a non-empty string")
         object.__setattr__(self, "policy_options", _freeze_options(self.policy_options))
+        object.__setattr__(
+            self, "controller_options", _freeze_options(self.controller_options)
+        )
+        if self.controller is None and self.controller_options:
+            raise ValueError("controller_options are only valid with a controller name")
 
     @property
     def label(self) -> str:
         """The scheme's display name."""
-        return self.name if self.name is not None else f"{self.policy}_{self.mechanism}"
+        if self.name is not None:
+            return self.name
+        if self.controller is not None:
+            return f"{self.policy}_{self.controller}"
+        return f"{self.policy}_{self.mechanism}"
 
     # ------------------------------------------------------------------
     # Component construction (via the registries)
@@ -171,6 +197,8 @@ class SchemeSpec:
         """Check every component name against the registries; return self."""
         POLICIES.entry(self.policy)
         MECHANISMS.entry(self.mechanism)
+        if self.controller is not None:
+            CONTROLLERS.entry(self.controller)
         TRANSFER_POLICIES.entry(self.transfer_policy)
         return self
 
@@ -181,8 +209,14 @@ class SchemeSpec:
         return POLICIES.create(self.policy, **options)
 
     def build_mechanism(self):
-        """Instantiate the preemption mechanism."""
+        """Instantiate the (default/fallback) preemption mechanism."""
         return MECHANISMS.create(self.mechanism)
+
+    def build_controller(self):
+        """Instantiate the preemption controller (``None`` = static default)."""
+        if self.controller is None:
+            return None
+        return CONTROLLERS.create(self.controller, **dict(self.controller_options))
 
     def build_transfer_policy(self):
         """Resolve the transfer-engine scheduling policy."""
@@ -198,6 +232,8 @@ class SchemeSpec:
             "mechanism": self.mechanism,
             "transfer_policy": self.transfer_policy,
             "policy_options": dict(self.policy_options),
+            "controller": self.controller,
+            "controller_options": dict(self.controller_options),
             "name": self.name,
         }
 

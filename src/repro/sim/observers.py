@@ -59,8 +59,12 @@ class BaseObserver:
         """Resident blocks were evicted by the context-switch mechanism."""
 
     # -- execution engine -----------------------------------------------
-    def on_sm_reserved(self, sm, next_ksr_index) -> None:
-        """The scheduling policy reserved ``sm`` (preemption request)."""
+    def on_sm_reserved(self, sm, next_ksr_index, mechanism) -> None:
+        """The scheduling policy reserved ``sm`` (preemption request).
+
+        ``mechanism`` is the preemption mechanism the engine's controller
+        chose for this request (mechanisms are selected per preemption).
+        """
 
     def on_kernel_activated(self, entry) -> None:
         """A buffered kernel command was admitted into the KSRT."""
@@ -122,9 +126,9 @@ class CompositeObserver(BaseObserver):
         for observer in self._observers:
             observer.on_blocks_evicted(sm, blocks)
 
-    def on_sm_reserved(self, sm, next_ksr_index) -> None:
+    def on_sm_reserved(self, sm, next_ksr_index, mechanism) -> None:
         for observer in self._observers:
-            observer.on_sm_reserved(sm, next_ksr_index)
+            observer.on_sm_reserved(sm, next_ksr_index, mechanism)
 
     def on_kernel_activated(self, entry) -> None:
         for observer in self._observers:

@@ -21,9 +21,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Union
 
 from repro.core.policies import SchedulingPolicy, make_policy
-from repro.core.preemption import PreemptionMechanism, make_mechanism
+from repro.core.preemption import PreemptionController, PreemptionMechanism, make_mechanism
 from repro.gpu.config import SystemConfig
-from repro.registry import POLICIES, TRANSFER_POLICIES
+from repro.registry import CONTROLLERS, POLICIES, TRANSFER_POLICIES
 from repro.scenario import ScenarioSpec
 from repro.gpu.context import ContextTable
 from repro.gpu.dispatcher import CommandDispatcher
@@ -48,6 +48,8 @@ class GPUSystem:
         *,
         policy: Union[str, SchedulingPolicy] = "fcfs",
         mechanism: Union[str, PreemptionMechanism] = "context_switch",
+        controller: Union[str, PreemptionController, None] = None,
+        controller_options: Optional[Dict] = None,
         transfer_policy: Union[str, TransferSchedulingPolicy] = TransferSchedulingPolicy.FCFS,
         policy_options: Optional[Dict] = None,
         validate: bool = False,
@@ -62,6 +64,10 @@ class GPUSystem:
             raise ValueError("policy_options are only valid with a policy name")
         if isinstance(mechanism, str):
             mechanism = make_mechanism(mechanism)
+        if isinstance(controller, str):
+            controller = CONTROLLERS.create(controller, **(controller_options or {}))
+        elif controller_options:
+            raise ValueError("controller_options are only valid with a controller name")
         if isinstance(transfer_policy, str):
             transfer_policy = TRANSFER_POLICIES.create(transfer_policy)
 
@@ -77,6 +83,7 @@ class GPUSystem:
             self.config,
             policy=policy,
             mechanism=mechanism,
+            controller=controller,
             context_table=self.context_table,
         )
         self.dispatcher = CommandDispatcher(
@@ -212,6 +219,8 @@ class GPUSystem:
             config,
             policy=scheme.policy,
             mechanism=scheme.mechanism,
+            controller=scheme.controller,
+            controller_options=dict(scheme.controller_options) or None,
             transfer_policy=scheme.transfer_policy,
             policy_options=options or None,
             validate=scenario.validate,
@@ -243,8 +252,18 @@ class GPUSystem:
 
     @property
     def mechanism(self) -> PreemptionMechanism:
-        """The preemption mechanism in use."""
+        """The default/fallback preemption mechanism.
+
+        With the (default) ``static`` controller this is *the* mechanism;
+        dynamic controllers may route individual preemptions to other bound
+        instances (see :meth:`ExecutionEngine.mechanisms`).
+        """
         return self.execution_engine.mechanism
+
+    @property
+    def controller(self) -> PreemptionController:
+        """The preemption controller consulted per preemption request."""
+        return self.execution_engine.controller
 
     def add_process(
         self,

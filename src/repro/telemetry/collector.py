@@ -158,13 +158,16 @@ class TraceCollector(BaseObserver):
             process=launch.process_name,
         )
 
-    def on_sm_reserved(self, sm, next_ksr_index) -> None:
-        mechanism = self._system.mechanism.name
-        self._preempt_requests[sm.sm_id] = (self._sim.now, mechanism)
+    def on_sm_reserved(self, sm, next_ksr_index, mechanism) -> None:
+        # The mechanism is chosen per request by the engine's preemption
+        # controller; the span is tagged with that choice, not a system-wide
+        # mechanism.
+        name = mechanism.name
+        self._preempt_requests[sm.sm_id] = (self._sim.now, name)
         self._emit(
             ev.PREEMPT_REQUEST,
             sm=sm.sm_id,
-            mechanism=mechanism,
+            mechanism=name,
             resident=sm.resident_blocks,
         )
 

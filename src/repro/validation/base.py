@@ -148,8 +148,12 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     # Execution-engine hooks
     # ------------------------------------------------------------------
-    def on_sm_reserved(self, sm: "StreamingMultiprocessor", next_ksr_index) -> None:
-        """The scheduling policy reserved ``sm`` (preemption request)."""
+    def on_sm_reserved(self, sm: "StreamingMultiprocessor", next_ksr_index, mechanism) -> None:
+        """The scheduling policy reserved ``sm`` (preemption request).
+
+        ``mechanism`` is the preemption mechanism the engine's controller
+        chose for this request (mechanisms are selected per preemption).
+        """
 
     def on_kernel_activated(self, entry) -> None:
         """A buffered kernel command was admitted into the KSRT."""
@@ -311,9 +315,9 @@ class ValidationHub:
         for checker in self._checkers:
             checker.on_blocks_evicted(sm, blocks)
 
-    def on_sm_reserved(self, sm, next_ksr_index) -> None:
+    def on_sm_reserved(self, sm, next_ksr_index, mechanism) -> None:
         for checker in self._checkers:
-            checker.on_sm_reserved(sm, next_ksr_index)
+            checker.on_sm_reserved(sm, next_ksr_index, mechanism)
 
     def on_kernel_activated(self, entry) -> None:
         for checker in self._checkers:

@@ -52,10 +52,13 @@ MIB = 1024 * KIB
 SYNTHETIC_PREFIX = "syn"
 _NAME_RE = re.compile(r"^syn-(\d+)-(\d+)$")
 
-#: Policy / mechanism / transfer-policy pools the scenario fuzzer draws from.
-#: Registry names — extend these to fuzz custom components too.
+#: Policy / mechanism / controller / transfer-policy pools the scenario
+#: fuzzer draws from.  Registry names — extend these to fuzz custom
+#: components too.  ``None`` in the controller pool keeps the legacy
+#: controller-less spec shape (static selection of the drawn mechanism).
 SCHEME_POLICIES: Tuple[str, ...] = ("fcfs", "npq", "ppq", "ppq_shared", "dss")
 SCHEME_MECHANISMS: Tuple[str, ...] = ("context_switch", "draining")
+SCHEME_CONTROLLERS: Tuple[Optional[str], ...] = (None, "static", "hybrid", "adaptive")
 SCHEME_TRANSFER_POLICIES: Tuple[str, ...] = ("fcfs", "npq")
 
 #: Namespace component so synthetic draws never collide with other users of
@@ -243,15 +246,39 @@ class SyntheticSuite:
 # Scenario generation
 # ----------------------------------------------------------------------
 def generate_synthetic_scheme(seed: int) -> SchemeSpec:
-    """Derive a scheduling scheme (policy × mechanism × transfer) from a seed."""
+    """Derive a scheme (policy × mechanism × controller × transfer) from a seed.
+
+    The controller dimension covers the per-request preemption API: the
+    legacy controller-less shape, an explicit ``static`` wrap, ``hybrid``
+    with a sampled drain budget (so deadline fallbacks at every point of the
+    latency range get fuzzed), and ``adaptive``.
+    """
     policy = _pick(SCHEME_POLICIES, seed, "policy")
     mechanism = _pick(SCHEME_MECHANISMS, seed, "mechanism")
     transfer = _pick(SCHEME_TRANSFER_POLICIES, seed, "transfer")
+    controller = _pick(SCHEME_CONTROLLERS, seed, "controller")
+    controller_options = {}
+    if controller == "hybrid":
+        # 0.5 .. 50 µs: from "falls back almost always" to "drains almost
+        # always", covering mid-drain mixes in between.
+        controller_options["drain_budget_us"] = round(
+            0.5 + _u(seed, "drain_budget") * 49.5, 3
+        )
+    if controller is None:
+        name = f"{policy}_{mechanism}"
+    elif controller == "static":
+        # For static the mechanism fully determines behaviour: keep it in
+        # the label so fuzz reports stay distinguishable.
+        name = f"{policy}_static_{mechanism}"
+    else:
+        name = f"{policy}_{controller}"
     return SchemeSpec(
         policy=policy,
         mechanism=mechanism,
         transfer_policy=transfer,
-        name=f"{policy}_{mechanism}",
+        controller=controller,
+        controller_options=controller_options,
+        name=name,
     )
 
 
@@ -336,6 +363,7 @@ __all__ = [
     "SYNTHETIC_PREFIX",
     "SCHEME_POLICIES",
     "SCHEME_MECHANISMS",
+    "SCHEME_CONTROLLERS",
     "SCHEME_TRANSFER_POLICIES",
     "SyntheticAppParams",
     "SyntheticSuite",

@@ -53,6 +53,80 @@ class TestSchemeSpec:
             SchemeSpec.from_dict({"policy": "fcfs", "bogus": 1})
 
 
+class TestSchemeSpecController:
+    def test_controller_round_trips_through_json(self):
+        scheme = SchemeSpec(
+            policy="ppq",
+            mechanism="context_switch",
+            transfer_policy="npq",
+            controller="hybrid",
+            controller_options={"drain_budget_us": 12.5},
+        )
+        assert SchemeSpec.from_dict(scheme.to_dict()) == scheme
+        assert SchemeSpec.from_json(scheme.to_json()) == scheme
+        payload = json.loads(scheme.to_json())
+        assert payload["controller"] == "hybrid"
+        assert payload["controller_options"] == {"drain_budget_us": 12.5}
+        scheme.validate()
+
+    def test_legacy_payload_without_controller_keys_still_loads(self):
+        # Pre-controller archives round-trip into controller-less specs.
+        legacy = {
+            "policy": "ppq",
+            "mechanism": "draining",
+            "transfer_policy": "npq",
+            "policy_options": {},
+            "name": "ppq_drain",
+        }
+        scheme = SchemeSpec.from_dict(legacy)
+        assert scheme.controller is None
+        assert scheme.controller_options == {}
+        assert scheme == SchemeSpec.from_dict(scheme.to_dict())
+
+    def test_build_controller(self):
+        from repro.core.preemption import HybridController
+
+        assert SchemeSpec(policy="fcfs").build_controller() is None
+        controller = SchemeSpec(
+            policy="ppq", controller="hybrid",
+            controller_options={"drain_budget_us": 3.0},
+        ).build_controller()
+        assert isinstance(controller, HybridController)
+        assert controller.drain_budget_us == 3.0
+
+    def test_label_includes_controller(self):
+        assert SchemeSpec(policy="ppq", controller="adaptive").label == "ppq_adaptive"
+        assert SchemeSpec(policy="ppq").label == "ppq_context_switch"
+        assert SchemeSpec(policy="ppq", controller="adaptive", name="x").label == "x"
+
+    def test_rejects_options_without_controller_and_unknown_names(self):
+        with pytest.raises(ValueError, match="controller_options"):
+            SchemeSpec(policy="ppq", controller_options={"drain_budget_us": 1.0})
+        with pytest.raises(ValueError, match="controller"):
+            SchemeSpec(policy="ppq", controller="").validate()
+        with pytest.raises(ValueError, match="preemption controller"):
+            SchemeSpec(policy="ppq", controller="warp_drive").validate()
+
+    def test_scenario_with_controller_builds_running_system(self):
+        from repro.core.preemption import AdaptiveController
+        from repro.system import GPUSystem
+
+        spec = ScenarioSpec(
+            scheme=SchemeSpec(
+                policy="ppq", mechanism="context_switch", transfer_policy="npq",
+                controller="adaptive",
+            ),
+            applications=("lbm", "spmv"),
+            high_priority_index=0,
+            scale="smoke",
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        system = GPUSystem.from_scenario(spec)
+        assert isinstance(system.controller, AdaptiveController)
+        system.run(stop_after_min_iterations=1)
+        assert all(p.completed_iterations >= 1 for p in system.processes)
+
+
 class TestScenarioSpec:
     def scenario(self, **kwargs) -> ScenarioSpec:
         defaults = dict(

@@ -15,7 +15,7 @@ def test_parser_knows_every_experiment():
     assert args.experiments == ["table1", "table2"]
     assert set(EXPERIMENTS) == {
         "table1", "table2", "figure2", "figure5", "figure6", "figure7", "figure8",
-        "synthetic", "preemption_latency",
+        "synthetic", "preemption_latency", "mechanism_choice",
     }
 
 
@@ -180,6 +180,31 @@ def test_main_list_prints_experiments_and_components(capsys):
         assert name in printed
     for component in ("fcfs", "ppq_shared", "dss", "context_switch", "draining"):
         assert component in printed
+
+
+def test_main_list_prints_controllers_with_descriptions_and_aliases(capsys):
+    assert main(["--list"]) == 0
+    printed = capsys.readouterr().out
+    assert "Preemption controllers:" in printed
+    for controller, alias in (
+        ("static", "fixed"),
+        ("hybrid", "deadline"),
+        ("adaptive", "cost_model"),
+    ):
+        assert controller in printed
+        assert alias in printed
+    # Descriptions ride along (first docstring line of each controller).
+    assert "Deadline-bounded draining" in printed
+
+
+def test_unknown_controller_errors_with_close_match_suggestion():
+    from repro.registry import CONTROLLERS, UnknownComponentError
+    from repro.scenario import SchemeSpec
+
+    with pytest.raises(UnknownComponentError, match="did you mean: hybrid"):
+        CONTROLLERS.entry("hybird")
+    with pytest.raises(UnknownComponentError, match="preemption controller"):
+        SchemeSpec(policy="ppq", controller="magic").validate()
 
 
 def test_main_json_output(capsys, tmp_path):

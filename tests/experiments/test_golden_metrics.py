@@ -75,6 +75,38 @@ def test_golden_fixtures_have_rows():
         assert golden["rows"], f"{name} fixture is empty"
 
 
+@pytest.fixture(scope="module")
+def static_shared_data():
+    """One collect() with every scheme wrapped in an explicit static controller."""
+    import dataclasses
+
+    # Bare controller="static" adopts each scheme's mechanism at bind time.
+    static_schemes = tuple(
+        dataclasses.replace(scheme, controller="static")
+        for scheme in priority_data.PRIORITY_SCHEMES.values()
+    )
+    return priority_data.collect(GOLDEN_CONFIG, schemes=static_schemes)
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_static_controller_reproduces_golden_fixtures_byte_identically(
+    name, static_shared_data
+):
+    """Backward-compat proof for the preemption-controller redesign.
+
+    Wrapping every priority scheme's mechanism in an explicit ``static``
+    controller must reproduce the controller-less golden output exactly —
+    the fixtures on disk, unchanged.
+    """
+    result = FIGURES[name].run(GOLDEN_CONFIG, data=static_shared_data)
+    computed = {
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+    }
+    golden = json.loads((GOLDEN_DIR / f"{name}_smoke.json").read_text())
+    assert json.loads(json.dumps(computed)) == golden
+
+
 def regenerate() -> None:  # pragma: no cover - maintenance helper
     """Rewrite the golden fixtures from the current simulator output."""
     for name in FIGURES:

@@ -1,0 +1,127 @@
+"""Golden-pinned tests for the mechanism-choice (controller) experiment.
+
+The per-controller latency distributions, mechanism mixes and mean ANTT at a
+fixed smoke configuration are frozen into ``tests/golden/``.  The headline
+acceptance property — the hybrid controller sits *between* the static
+endpoints (p95 latency no worse than draining's, ANTT no worse than the
+context switch's) — is asserted on the live result and therefore also pinned
+by the fixture.
+
+To regenerate after an *intentional* modelling change, run this module
+directly (``python tests/experiments/test_mechanism_choice.py``) and commit
+the updated fixture with an explanation of the drift.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import mechanism_choice
+from repro.experiments.base import ExperimentConfig
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+FIXTURE = GOLDEN_DIR / "mechanism_choice_smoke.json"
+
+#: Same frozen shape as the preemption_latency golden configuration, so the
+#: two experiments pin the same workloads.
+GOLDEN_CONFIG = ExperimentConfig(
+    scale="smoke",
+    process_counts=(2,),
+    workloads_per_benchmark=1,
+    workloads_per_count=3,
+    seed=2014,
+    benchmarks=("lbm", "spmv", "sad"),
+)
+
+
+def _compute():
+    result = mechanism_choice.run(GOLDEN_CONFIG)
+    return {"headers": list(result.headers), "rows": [list(row) for row in result.rows]}
+
+
+@pytest.fixture(scope="module")
+def result():
+    return mechanism_choice.run(GOLDEN_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def rows(result):
+    return {row["Controller"]: row for row in result.row_dicts()}
+
+
+def test_results_match_golden_fixture(result):
+    computed = {
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+    }
+    golden = json.loads(FIXTURE.read_text())
+    assert json.loads(json.dumps(computed)) == golden, (
+        f"mechanism_choice results drifted from {FIXTURE}; if the modelling "
+        "change is intentional, regenerate the fixture (see module docstring)"
+    )
+
+
+def test_every_controller_reports_preemptions(rows):
+    assert set(rows) == {"static_cs", "static_drain", "hybrid", "adaptive"}
+    for row in rows.values():
+        assert row["Preemptions"] > 0, f"no preemptions measured for {row}"
+        assert 0.0 < row["p50 (us)"] <= row["p95 (us)"] <= row["max (us)"]
+        assert row["mean ANTT"] >= 1.0
+
+
+def test_static_controllers_use_a_single_mechanism(rows):
+    assert rows["static_cs"]["Mechanism mix"].startswith("context_switch:")
+    assert "draining" not in rows["static_cs"]["Mechanism mix"]
+    assert rows["static_drain"]["Mechanism mix"].startswith("draining:")
+    assert "context_switch" not in rows["static_drain"]["Mechanism mix"]
+
+
+def test_hybrid_actually_mixes_mechanisms(rows):
+    mix = rows["hybrid"]["Mechanism mix"]
+    assert "context_switch:" in mix and "draining:" in mix, (
+        f"the hybrid controller never exercised its fallback: {mix}"
+    )
+
+
+def test_hybrid_sits_between_the_endpoints(rows):
+    """The acceptance property: deadline-bounded latency, bounded overhead.
+
+    p95 latency must be no worse than static draining's (the deadline caps
+    the tail) and the mean ANTT no worse than the static context switch's
+    (draining-when-cheap moves less state than always-switching).
+    """
+    assert rows["hybrid"]["p95 (us)"] <= rows["static_drain"]["p95 (us)"]
+    assert rows["hybrid"]["mean ANTT"] <= rows["static_cs"]["mean ANTT"]
+
+
+def test_adaptive_no_worse_than_the_worst_endpoint(rows):
+    worst_antt = max(rows["static_cs"]["mean ANTT"], rows["static_drain"]["mean ANTT"])
+    assert rows["adaptive"]["mean ANTT"] <= worst_antt
+
+
+def test_series_carry_sorted_latency_samples(result):
+    for key, samples in result.series.items():
+        if key.startswith("latencies/"):
+            assert samples == sorted(samples)
+            assert all(latency >= 0.0 for latency in samples)
+    for row in result.rows:
+        assert len(result.series[f"latencies/{row[0]}"]) == row[2]
+
+
+def test_traced_run_accounting(result):
+    assert result.traced_run_count > 0
+    assert result.trace_event_count > 0
+    assert result.violation_count == 0
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Rewrite the golden fixture from the current simulator output."""
+    FIXTURE.write_text(json.dumps(_compute(), indent=2, sort_keys=True) + "\n")
+    print(f"regenerated {FIXTURE}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

@@ -100,6 +100,30 @@ def test_traced_run_accounting(result):
     assert result.violation_count == 0
 
 
+def test_static_controller_reproduces_golden_fixture_byte_identically(monkeypatch):
+    """Backward-compat proof for the preemption-controller redesign.
+
+    Re-running the experiment with both schemes wrapped in an explicit
+    ``static`` controller must reproduce the controller-less golden fixture
+    exactly — the fixture on disk, unchanged.
+    """
+    import dataclasses
+
+    from repro.experiments import priority_data
+
+    for name in preemption_latency.SCHEMES:
+        scheme = priority_data.PRIORITY_SCHEMES[name]
+        # Bare controller="static" adopts the scheme's mechanism at bind time.
+        monkeypatch.setitem(
+            priority_data.PRIORITY_SCHEMES,
+            name,
+            dataclasses.replace(scheme, controller="static"),
+        )
+    computed = _compute()
+    golden = json.loads(FIXTURE.read_text())
+    assert json.loads(json.dumps(computed)) == golden
+
+
 def regenerate() -> None:  # pragma: no cover - maintenance helper
     """Rewrite the golden fixture from the current simulator output."""
     FIXTURE.write_text(json.dumps(_compute(), indent=2, sort_keys=True) + "\n")

@@ -62,6 +62,80 @@ class TestCleanRuns:
             preemption.restored_bytes + preemption.outstanding_bytes
         )
 
+    def test_hybrid_mid_drain_fallback_balances_saved_and_restored_state(self):
+        """Save/restore balance under the hybrid controller's mixed regime.
+
+        A hybrid run whose drain deadline bites for long blocks but not for
+        short ones interleaves draining completions with context-switch
+        evictions; the PreemptionChecker balance (saved == restored +
+        outstanding) must hold across the mix, and drain completions must
+        still never produce evicted state.
+        """
+        from repro.gpu.kernel import KernelSpec
+        from repro.gpu.resources import ResourceUsage
+        from repro.trace.generator import KernelPhase
+
+        def kernel(name, blocks, tb_time):
+            return KernelSpec(
+                name=name, benchmark=name, num_thread_blocks=blocks,
+                avg_tb_time_us=tb_time,
+                usage=ResourceUsage(registers_per_block=8192, shared_memory_per_block=0),
+            )
+
+        def app(name, phases):
+            return TraceGenerator().build(
+                name, phases=phases, input_bytes=4096, output_bytes=4096,
+                setup_cpu_time_us=1.0, teardown_cpu_time_us=1.0,
+            )
+
+        system = GPUSystem(
+            policy="ppq",
+            controller="hybrid",
+            controller_options={"drain_budget_us": 20.0},
+            validate=True,
+        )
+        # Two phases of low-priority work: short (4 us) blocks first, long
+        # (100 us) blocks once the short kernel runs out.  The high-priority
+        # process launches twice — once early (during the short phase, where
+        # the estimated drain fits the 20 us deadline) and once after a long
+        # CPU phase (during the long phase, where it does not) — so the
+        # hybrid drains first and falls back to the context switch later.
+        system.add_process(
+            "short",
+            app("short", [KernelPhase(kernel("short", 2000, 4.0), cpu_time_us=1.0)]),
+            priority=1, max_iterations=1,
+        )
+        system.add_process(
+            "long",
+            app("long", [KernelPhase(kernel("long", 1000, 100.0), cpu_time_us=1.0)]),
+            priority=0, start_delay_us=0.1, max_iterations=1,
+        )
+        system.add_process(
+            "high",
+            app(
+                "high",
+                [
+                    KernelPhase(kernel("high_a", 52, 5.0), cpu_time_us=10.0),
+                    KernelPhase(kernel("high_b", 52, 5.0), cpu_time_us=400.0),
+                ],
+            ),
+            priority=10, start_delay_us=10.0, max_iterations=1,
+        )
+        system.run(max_events=5_000_000)
+
+        hub = system.validation
+        assert hub is not None and hub.ok, hub.to_dicts()
+        stats = dict(system.controller.stats.snapshot())
+        # Both sides of the fallback fired: some requests drained within the
+        # deadline, others fell back to the context switch.
+        assert stats.get("selected.draining", 0) > 0
+        assert stats.get("selected.context_switch", 0) > 0
+        preemption = next(c for c in hub.checkers if isinstance(c, PreemptionChecker))
+        assert preemption.saved_bytes > 0
+        assert preemption.saved_bytes == (
+            preemption.restored_bytes + preemption.outstanding_bytes
+        )
+
     def test_validation_does_not_perturb_results(self):
         plain = execute_scenario(_priority_scenario(validate=False))
         validated = execute_scenario(_priority_scenario(validate=True))

@@ -1,10 +1,10 @@
 """Property-style fuzz tests: every generated scenario obeys every invariant.
 
 A seeded loop over 50 generated scenarios, spread across every scheduling
-policy × preemption mechanism combination, runs each scenario with the full
-invariant-validation layer attached and asserts zero violations — plus the
-fuzzer's reproducibility contract: the same seed always yields byte-identical
-ScenarioSpec JSON.
+policy × preemption mechanism × preemption controller combination, runs each
+scenario with the full invariant-validation layer attached and asserts zero
+violations — plus the fuzzer's reproducibility contract: the same seed
+always yields byte-identical ScenarioSpec JSON.
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ import pytest
 from repro.runner import execute_scenario
 from repro.scenario import SchemeSpec
 from repro.workloads.synthetic import (
+    SCHEME_CONTROLLERS,
     SCHEME_MECHANISMS,
     SCHEME_POLICIES,
     generate_synthetic_scenario,
@@ -21,19 +22,26 @@ from repro.workloads.synthetic import (
 
 FUZZ_SEEDS = list(range(50))
 COMBOS = [
-    (policy, mechanism)
+    (policy, mechanism, controller)
     for policy in SCHEME_POLICIES
     for mechanism in SCHEME_MECHANISMS
+    for controller in SCHEME_CONTROLLERS
 ]
 
 
 def _scheme_for_seed(seed: int) -> SchemeSpec:
-    policy, mechanism = COMBOS[seed % len(COMBOS)]
+    policy, mechanism, controller = COMBOS[seed % len(COMBOS)]
+    controller_options = {}
+    if controller == "hybrid":
+        # Spread budgets from "always falls back" to "always drains".
+        controller_options["drain_budget_us"] = [0.0, 2.0, 10.0, 40.0][seed % 4]
     return SchemeSpec(
         policy=policy,
         mechanism=mechanism,
         transfer_policy="npq" if seed % 2 else "fcfs",
-        name=f"{policy}_{mechanism}",
+        controller=controller,
+        controller_options=controller_options,
+        name=f"{policy}_{mechanism}_{controller or 'none'}",
     )
 
 
@@ -47,9 +55,9 @@ def _fuzz_scenario(seed: int, validate: bool = True):
     )
 
 
-def test_fuzz_covers_every_policy_mechanism_combination():
+def test_fuzz_covers_every_policy_mechanism_controller_combination():
     covered = {
-        (s.scheme.policy, s.scheme.mechanism)
+        (s.scheme.policy, s.scheme.mechanism, s.scheme.controller)
         for s in (_fuzz_scenario(seed) for seed in FUZZ_SEEDS)
     }
     assert covered == set(COMBOS)
