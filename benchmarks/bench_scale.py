@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Scale benchmark: the ``large_gpu`` scenario family on the simulation core.
+
+Runs the :mod:`repro.workloads.large_gpu` presets (8/32/128 SMs with
+proportionally grown workloads) and records, per preset:
+
+* wall-clock time of the multiprogrammed simulation (best of ``--repeats``),
+* raw heap events processed (wave batching collapses same-instant block
+  completions into shared events),
+* block-equivalent events and events/sec — one event per thread-block
+  completion regardless of wave aggregation, so the number is comparable
+  across engine versions,
+* peak event-heap size (``Simulator.peak_heap_entries``).
+
+Results are merged into ``BENCH_results.json`` (or ``--output``) under the
+``scale_bench`` key, preserving whatever else the file holds (the pytest
+benchmark harness writes per-experiment wall times into the same file).
+``benchmarks/compare_bench.py`` diffs two such files and fails on events/sec
+regressions; CI runs the ``small`` preset against the committed
+``benchmarks/BENCH_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py                # full sweep
+    PYTHONPATH=src python benchmarks/bench_scale.py --preset small # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+import time
+from typing import Dict, Sequence
+
+from repro.experiments.scale import block_equivalent_events  # noqa: E402 (PYTHONPATH)
+from repro.system import GPUSystem
+from repro.utils.bench_results import merge_section
+from repro.workloads.large_gpu import LARGE_GPU_SM_COUNTS, generate_large_gpu_scenario
+
+#: Preset name -> SM counts benchmarked.
+PRESETS: Dict[str, Sequence[int]] = {
+    "small": (8, 32),
+    "full": tuple(LARGE_GPU_SM_COUNTS),
+}
+
+
+def bench_sm_count(num_sms: int, *, repeats: int, wave_batching: bool = True) -> Dict:
+    """Benchmark one SM count; returns the per-preset result record."""
+    scenario = generate_large_gpu_scenario(num_sms, wave_batching=wave_batching)
+    best_wall = float("inf")
+    system = None
+    for _ in range(max(1, repeats)):
+        system = GPUSystem.from_scenario(scenario)
+        started = time.perf_counter()
+        system.run(
+            stop_after_min_iterations=scenario.resolved_min_iterations(),
+            max_events=scenario.resolved_max_events(),
+        )
+        best_wall = min(best_wall, time.perf_counter() - started)
+    simulator = system.simulator
+    stats = system.execution_engine.utilization_snapshot()
+    events = simulator.events_processed
+    blocks = int(stats["blocks_executed"])
+    block_equivalent = block_equivalent_events(events, stats)
+    return {
+        "num_sms": num_sms,
+        "processes": scenario.num_processes,
+        "wall_s": round(best_wall, 4),
+        "events_processed": events,
+        "blocks_executed": blocks,
+        "block_equivalent_events": block_equivalent,
+        "events_per_sec": round(block_equivalent / best_wall) if best_wall else 0,
+        "peak_heap_entries": simulator.peak_heap_entries,
+        "simulated_us": round(simulator.now, 1),
+        "wave_batching": wave_batching,
+    }
+
+
+def run_benchmark(preset: str, *, repeats: int) -> Dict:
+    """Run every SM count of ``preset`` and build the ``scale_bench`` payload."""
+    results = {}
+    for num_sms in PRESETS[preset]:
+        key = f"large_gpu_{num_sms}sm"
+        results[key] = bench_sm_count(num_sms, repeats=repeats)
+        r = results[key]
+        print(
+            f"{key}: wall {r['wall_s']} s, {r['events_processed']} heap events, "
+            f"{r['block_equivalent_events']} block-eq events, "
+            f"{r['events_per_sec']:,} events/s, peak heap {r['peak_heap_entries']}",
+            file=sys.stderr,
+        )
+    return {
+        "schema": 1,
+        "preset": preset,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "metric": (
+            "events_per_sec counts one event per thread-block completion "
+            "regardless of wave aggregation (comparable across engine versions)"
+        ),
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="full", help="SM-count sweep to run"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="timed repetitions per SM count (best wins)"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.environ.get("BENCH_RESULTS_PATH", "BENCH_results.json"),
+        help="results file to merge into (default: BENCH_results.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(args.preset, repeats=args.repeats)
+    merge_section(args.output, "scale_bench", payload)
+    print(f"scale_bench ({args.preset}) -> {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Compare two ``bench_scale`` result files and fail on throughput regressions.
+
+Reads the ``scale_bench`` section of a baseline and a candidate
+``BENCH_results.json`` (either the merged file or a bare ``scale_bench``
+payload) and compares ``events_per_sec`` per preset.  Exits non-zero when any
+preset present in both files regresses by more than ``--max-regression``
+(default 25%).  CI runs this against the committed
+``benchmarks/BENCH_baseline.json``; refresh that baseline by copying a fresh
+``bench_scale`` run when the hardware or an intentional trade-off changes the
+numbers::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py --preset small --output /tmp/new.json
+    PYTHONPATH=src python benchmarks/compare_bench.py benchmarks/BENCH_baseline.json /tmp/new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_results(path: str) -> Dict[str, Dict]:
+    """Per-preset results of a bench file (merged document or bare payload)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    payload = document.get("scale_bench", document)
+    results = payload.get("results")
+    if not isinstance(results, dict) or not results:
+        raise ValueError(f"{path}: no scale_bench results found")
+    return results
+
+
+def compare(
+    baseline: Dict[str, Dict], candidate: Dict[str, Dict], *, max_regression: float
+) -> int:
+    """Print the per-preset comparison; return the number of regressions.
+
+    Raises :class:`ValueError` when the two files share no presets — that is
+    a comparison that never happened, not a throughput regression.
+    """
+    shared = [key for key in baseline if key in candidate]
+    if not shared:
+        raise ValueError("baseline and candidate share no presets")
+    regressions = 0
+    for key in sorted(shared):
+        old = float(baseline[key]["events_per_sec"])
+        new = float(candidate[key]["events_per_sec"])
+        change = (new - old) / old if old else 0.0
+        status = "ok"
+        if old and new < old * (1.0 - max_regression):
+            status = "REGRESSION"
+            regressions += 1
+        print(
+            f"{key}: {old:,.0f} -> {new:,.0f} events/s ({change:+.1%}) [{status}]"
+        )
+    only = sorted(set(baseline) - set(candidate))
+    if only:
+        print(f"note: presets only in baseline (not compared): {', '.join(only)}")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline bench file (committed reference)")
+    parser.add_argument("candidate", help="fresh bench file to check")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional events/sec drop per preset (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        regressions = compare(
+            load_results(args.baseline),
+            load_results(args.candidate),
+            max_regression=args.max_regression,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
+    if regressions:
+        print(
+            f"ERROR: {regressions} preset(s) regressed more than "
+            f"{args.max_regression:.0%} in events/s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

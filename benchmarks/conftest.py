@@ -19,7 +19,6 @@ set ``BENCH_RESULTS_PATH`` to redirect it.
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
 import platform
 import time
@@ -28,6 +27,7 @@ from typing import Dict
 import pytest
 
 from repro.experiments.base import ExperimentConfig
+from repro.utils.bench_results import merge_section
 
 #: Wall time (seconds) of every benchmark that ran in this session.
 _BENCH_TIMES: Dict[str, float] = {}
@@ -89,7 +89,12 @@ def pytest_runtest_logreport(report):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Emit ``BENCH_results.json`` with the per-benchmark wall times."""
+    """Emit ``BENCH_results.json`` with the per-benchmark wall times.
+
+    Only this harness's own section is replaced: other producers write into
+    the same file (``benchmarks/bench_scale.py`` merges its results under
+    ``scale_bench``), and their sections must survive a pytest run.
+    """
     if not _BENCH_TIMES:
         return
     path = os.environ.get("BENCH_RESULTS_PATH", "BENCH_results.json")
@@ -106,6 +111,4 @@ def pytest_sessionfinish(session, exitstatus):
             for nodeid, duration in sorted(_BENCH_TIMES.items())
         },
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    merge_section(path, "experiment_bench", payload)

@@ -195,7 +195,7 @@ class SchedulingFramework:
         entry = self.smst.entry(sm_id)
         if not entry.is_idle:
             raise RuntimeError(f"SM{sm_id} must be idle to start setup (state={entry.state})")
-        entry.state = SMState.SETUP
+        self.smst.set_state(sm_id, SMState.SETUP)
         entry.ksr_index = ksr_index
         entry.next_ksr_index = None
         self.ksrt.get(ksr_index).assigned_sms.add(sm_id)
@@ -205,14 +205,14 @@ class SchedulingFramework:
         entry = self.smst.entry(sm_id)
         if entry.state is not SMState.SETUP:
             raise RuntimeError(f"SM{sm_id} is not in setup (state={entry.state})")
-        entry.state = SMState.RUNNING
+        self.smst.set_state(sm_id, SMState.RUNNING)
 
     def mark_sm_reserved(self, sm_id: int, next_ksr_index: Optional[int]) -> None:
         """Record that a policy reserved ``sm_id`` for ``next_ksr_index``."""
         entry = self.smst.entry(sm_id)
         if entry.state is not SMState.RUNNING:
             raise RuntimeError(f"only running SMs can be reserved (SM{sm_id} is {entry.state})")
-        entry.state = SMState.RESERVED
+        self.smst.set_state(sm_id, SMState.RESERVED)
         entry.next_ksr_index = next_ksr_index
         self.stats.counter("sm_reservations").add()
 
@@ -233,7 +233,7 @@ class SchedulingFramework:
         previous = entry.ksr_index
         if previous is not None and self.ksrt.is_valid(previous):
             self.ksrt.get(previous).assigned_sms.discard(sm_id)
-        entry.state = SMState.IDLE
+        self.smst.set_state(sm_id, SMState.IDLE)
         entry.ksr_index = None
         entry.next_ksr_index = None
         entry.running_blocks = 0

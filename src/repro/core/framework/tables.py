@@ -17,7 +17,7 @@ from repro.gpu.sm import SMState
 from repro.gpu.thread_block import ThreadBlock
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelStatusEntry:
     """One Kernel Status Register (a valid KSRT entry).
 
@@ -142,20 +142,39 @@ class KernelStatusRegisterTable:
         return self.occupancy
 
 
-@dataclass
 class SMStatusEntry:
     """One entry of the SM Status Table.
 
     Tracks the kernel being executed (KSR index), the state of the SM (idle,
     setup, running or reserved), the number of running thread blocks, and the
     KSR index of the *next* kernel when the SM is reserved (paper Sec. 3.3).
+
+    :attr:`state` is read-only on the entry: transitions must go through
+    :meth:`SMStatusTable.set_state`, which keeps the table's incremental
+    idle/reserved bookkeeping exact (a direct write would silently desync
+    ``idle_sms()`` and ``reserved_count``).
     """
 
-    sm_id: int
-    state: SMState = SMState.IDLE
-    ksr_index: Optional[int] = None
-    next_ksr_index: Optional[int] = None
-    running_blocks: int = 0
+    __slots__ = ("sm_id", "_state", "ksr_index", "next_ksr_index", "running_blocks")
+
+    def __init__(
+        self,
+        sm_id: int,
+        state: SMState = SMState.IDLE,
+        ksr_index: Optional[int] = None,
+        next_ksr_index: Optional[int] = None,
+        running_blocks: int = 0,
+    ):
+        self.sm_id = sm_id
+        self._state = state
+        self.ksr_index = ksr_index
+        self.next_ksr_index = next_ksr_index
+        self.running_blocks = running_blocks
+
+    @property
+    def state(self) -> SMState:
+        """Current SM state (mutate via :meth:`SMStatusTable.set_state`)."""
+        return self._state
 
     @property
     def is_idle(self) -> bool:
@@ -180,12 +199,20 @@ class SMStatusEntry:
 
 
 class SMStatusTable:
-    """The SM Status Table: one entry per SM."""
+    """The SM Status Table: one entry per SM.
+
+    State transitions go through :meth:`set_state` (the scheduling framework
+    is the only mutator), which maintains incremental idle/reserved
+    bookkeeping so the policies' per-decision queries stay cheap on
+    large-GPU configurations instead of rescanning every entry.
+    """
 
     def __init__(self, num_sms: int):
         if num_sms < 1:
             raise ValueError("the GPU needs at least one SM")
         self._entries = [SMStatusEntry(sm_id=i) for i in range(num_sms)]
+        self._idle = set(range(num_sms))
+        self._reserved_count = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -197,9 +224,30 @@ class SMStatusTable:
         """Entry of SM ``sm_id``."""
         return self._entries[sm_id]
 
+    def set_state(self, sm_id: int, state: SMState) -> None:
+        """Transition SM ``sm_id`` to ``state`` (keeps the bookkeeping exact)."""
+        entry = self._entries[sm_id]
+        old = entry._state
+        if old is state:
+            return
+        if old is SMState.IDLE:
+            self._idle.discard(sm_id)
+        elif old is SMState.RESERVED:
+            self._reserved_count -= 1
+        if state is SMState.IDLE:
+            self._idle.add(sm_id)
+        elif state is SMState.RESERVED:
+            self._reserved_count += 1
+        entry._state = state
+
+    @property
+    def reserved_count(self) -> int:
+        """Number of SMs currently in the RESERVED state (O(1))."""
+        return self._reserved_count
+
     def idle_sms(self) -> List[int]:
         """Ids of all idle SMs, in ascending order."""
-        return [e.sm_id for e in self._entries if e.is_idle]
+        return sorted(self._idle)
 
     def running_sms(self) -> List[int]:
         """Ids of all SMs in the RUNNING state."""

@@ -130,9 +130,14 @@ class SchedulingPolicy(abc.ABC):
 
     def _reserved_for(self, ksr_index: int) -> int:
         """Number of SMs currently reserved and destined for ``ksr_index``."""
+        smst = self.framework.smst
+        if not smst.reserved_count:
+            # Nothing is reserved (the common case on every scheduling tick
+            # outside an in-flight preemption): skip the per-SM scan.
+            return 0
         return sum(
             1
-            for sm_entry in self.framework.smst
+            for sm_entry in smst
             if sm_entry.is_reserved and sm_entry.next_ksr_index == ksr_index
         )
 

@@ -85,8 +85,15 @@ class NonPreemptivePriorityPolicy(SchedulingPolicy):
     def _assign_idle_sms(self) -> None:
         """Hand idle SMs to eligible kernels in priority order."""
         framework = self.framework
-        for sm_id in framework.idle_sms():
-            candidates = self._assignment_candidates()
+        idle = framework.idle_sms()
+        if not idle:
+            return
+        # The candidate list is invariant across the loop: assigning an SM
+        # (mark_sm_setup) changes neither which kernels have issuable work
+        # nor their priority order — only ``_wants_more_sms``, which is
+        # re-evaluated per SM below.
+        candidates = self._assignment_candidates()
+        for sm_id in idle:
             target = None
             for entry in candidates:
                 if self._wants_more_sms(entry):

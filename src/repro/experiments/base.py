@@ -108,6 +108,11 @@ class ExperimentResult:
     #: rendered output.
     traced_run_count: int = 0
     trace_event_count: int = 0
+    #: Simulator events processed across the experiment's own scenario runs
+    #: (populated by record-based experiments; the CLI's ``--profile`` flag
+    #: aggregates it together with the shared figure caches).  Kept out of
+    #: :meth:`format`/:meth:`to_dict` like the other instrumentation totals.
+    events_processed: int = 0
 
     def format(self) -> str:
         """Render the result as an aligned plain-text table."""

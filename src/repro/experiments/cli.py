@@ -37,6 +37,7 @@ from repro.experiments import dss_data, priority_data
 from repro.experiments import figure2, figure5, figure6, figure7, figure8, table1, table2
 from repro.experiments import preemption_latency, synthetic
 from repro.experiments import mechanism_choice
+from repro.experiments import scale as scale_experiment
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.registry import CONTROLLERS, MECHANISMS, POLICIES, TRANSFER_POLICIES
 
@@ -53,6 +54,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "synthetic": synthetic.run,
     "preemption_latency": preemption_latency.run,
     "mechanism_choice": mechanism_choice.run,
+    "scale": scale_experiment.run,
 }
 
 
@@ -129,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
         "only used with --trace)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print wall time, simulator events processed and events/sec to stderr "
+        "after the run (stdout stays byte-identical; composes with "
+        "--validate/--trace; event totals cover the instrumented scenario runs)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead of tables"
     )
     parser.add_argument("--output", default=None, help="write results to this file as well")
@@ -168,14 +177,17 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
 
 def run_selected(
     names: List[str], config: ExperimentConfig
-) -> Tuple[List[ExperimentResult], int, Tuple[int, int]]:
+) -> Tuple[List[ExperimentResult], int, Tuple[int, int], int]:
     """Run the selected experiments, sharing simulation data where possible.
 
     Returns the results, the total number of invariant violations detected
     across every simulated run (always 0 unless ``config.validate`` attached
-    the checkers — and 0 then too, for a correct simulator), and the
+    the checkers — and 0 then too, for a correct simulator), the
     ``(traced runs, trace events)`` telemetry totals (non-zero only with
-    ``config.trace`` or trace-driven experiments like ``preemption_latency``).
+    ``config.trace`` or trace-driven experiments like ``preemption_latency``),
+    and the total simulator events processed across the instrumented scenario
+    runs (the shared figure caches plus record-based experiments; consumed by
+    ``--profile``).
     """
     results: List[ExperimentResult] = []
     priority_cache = None
@@ -226,7 +238,9 @@ def run_selected(
         if r.trace_summary is not None
     )
     trace_events += sum(result.trace_event_count for result in results)
-    return results, violation_total, (traced_runs, trace_events)
+    events_total = sum(r.events_processed for r in cached_results)
+    events_total += sum(result.events_processed for result in results)
+    return results, violation_total, (traced_runs, trace_events), events_total
 
 
 def format_listing() -> str:
@@ -280,7 +294,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
-    results, violation_total, (traced_runs, trace_events) = run_selected(names, config)
+    run_started = time.perf_counter()
+    results, violation_total, (traced_runs, trace_events), events_total = run_selected(
+        names, config
+    )
+    run_wall_s = time.perf_counter() - run_started
     if args.json:
         text = json.dumps([result.to_dict() for result in results], indent=2)
     else:
@@ -292,6 +310,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         mode = "w" if args.json else "a"
         with open(args.output, mode, encoding="utf-8") as handle:
             handle.write(text + "\n")
+    if args.profile:
+        # stderr only: stdout stays byte-identical so enabling --profile never
+        # perturbs archived results.  One line, composing with --validate and
+        # --trace (each keeps its own line).
+        rate = events_total / run_wall_s if run_wall_s > 0 else 0.0
+        print(
+            f"profile: wall {run_wall_s:.2f} s, {events_total} event(s) processed, "
+            f"{rate:,.0f} events/s",
+            file=sys.stderr,
+        )
     if args.trace or traced_runs:
         # stderr only: stdout stays byte-identical so enabling --trace never
         # perturbs archived results.  One line, composing with --validate.

@@ -56,11 +56,12 @@ def _single_kernel_trace(name: str, spec: KernelSpec, *, cpu_us: float) -> Appli
 
 def _k3_latency(
     policy: str, mechanism: str, *, validate: bool = False, trace: bool = False
-) -> tuple[float, int, int]:
+) -> tuple[float, int, int, int]:
     """Turnaround time of the high-priority process (K3) under one scheduler.
 
-    Returns ``(latency_us, violation_count, trace_event_count)``; the counts
-    are 0 unless ``validate`` / ``trace`` attached the respective observers.
+    Returns ``(latency_us, violation_count, trace_event_count,
+    events_processed)``; the violation/trace counts are 0 unless ``validate``
+    / ``trace`` attached the respective observers.
     """
     system = GPUSystem(
         policy=policy,
@@ -81,7 +82,12 @@ def _k3_latency(
                        start_delay_us=500.0, max_iterations=1)
     system.run(max_events=5_000_000)
     events = system.telemetry.num_events if system.telemetry is not None else 0
-    return system.process("rt").mean_iteration_time_us(), len(system.violations()), events
+    return (
+        system.process("rt").mean_iteration_time_us(),
+        len(system.violations()),
+        events,
+        system.simulator.events_processed,
+    )
 
 
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
@@ -105,9 +111,12 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     )
     latencies = {}
     for label, args in schemes.items():
-        latency, violations, events = _k3_latency(*args, validate=validate, trace=trace)
+        latency, violations, events, sim_events = _k3_latency(
+            *args, validate=validate, trace=trace
+        )
         latencies[label] = latency
         result.violation_count += violations
+        result.events_processed += sim_events
         if trace:
             result.traced_run_count += 1
             result.trace_event_count += events

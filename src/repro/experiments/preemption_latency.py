@@ -187,6 +187,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         result.series[f"latencies/{source}/{scheme.label}"] = sorted(samples)
 
     result.violation_count = sum(len(record.violations) for record in records)
+    result.events_processed = sum(record.result.events_processed for record in records)
     result.traced_run_count = sum(
         1 for record in records if record.trace_summary is not None
     )

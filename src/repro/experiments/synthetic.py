@@ -67,6 +67,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         )
 
     result.violation_count = total_violations
+    result.events_processed = sum(r.result.events_processed for r in records)
     result.traced_run_count = sum(1 for r in records if r.trace_summary is not None)
     result.trace_event_count = sum(
         r.trace_summary["events_total"] for r in records if r.trace_summary is not None

@@ -54,6 +54,12 @@ class GPUConfig:
     pipeline_drain_latency_us: float = 0.5
     #: Latency for the SM driver to issue one thread block to an SM.
     tb_issue_latency_us: float = 0.05
+    #: Whether the SM may aggregate same-kernel thread blocks whose completion
+    #: falls on the same instant into one "wave" completion event (a pure
+    #: simulation optimisation: the wave path is observably identical to the
+    #: per-block path — see ``tests/gpu/test_wave_equivalence.py``).  Disable
+    #: to force one heap event per thread block.
+    wave_batching: bool = True
 
     # ------------------------------------------------------------------
     # Derived quantities

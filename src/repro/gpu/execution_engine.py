@@ -40,7 +40,7 @@ from repro.gpu.config import SystemConfig
 from repro.gpu.context import ContextTable, GPUContext
 from repro.gpu.kernel import KernelLaunch
 from repro.gpu.resources import OccupancyCalculator
-from repro.gpu.sm import SMState, StreamingMultiprocessor
+from repro.gpu.sm import SMState, StreamingMultiprocessor, WaveAnchor
 from repro.gpu.sm_driver import SMDriver
 from repro.gpu.thread_block import ThreadBlock
 from repro.sim.engine import Simulator
@@ -83,8 +83,13 @@ class ExecutionEngine:
         self.controller.bind(self)
         self.framework = SchedulingFramework(config)
         self.occupancy = OccupancyCalculator(config.gpu)
+        #: Shared wave-joining anchor: same-instant block completions across
+        #: the whole engine may merge into one heap event (see
+        #: :class:`~repro.gpu.sm.WaveAnchor`).
+        self._wave_anchor = WaveAnchor()
         self._sms: List[StreamingMultiprocessor] = [
-            StreamingMultiprocessor(i, config.gpu, simulator) for i in range(config.gpu.num_sms)
+            StreamingMultiprocessor(i, config.gpu, simulator, wave_anchor=self._wave_anchor)
+            for i in range(config.gpu.num_sms)
         ]
         self.sm_driver = SMDriver(self)
         self.stats = StatRegistry()
@@ -369,6 +374,9 @@ class ExecutionEngine:
         out["mean_sm_utilization"] = sum(per_sm) / len(per_sm) if per_sm else 0.0
         out["blocks_executed"] = float(sum(sm.blocks_executed for sm in self._sms))
         out["blocks_preempted"] = float(sum(sm.blocks_preempted for sm in self._sms))
+        out["block_completion_events"] = float(
+            sum(sm.completion_waves_fired for sm in self._sms)
+        )
         out.update({f"framework.{k}": v for k, v in self.framework.snapshot().items()})
         return out
 

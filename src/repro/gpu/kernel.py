@@ -161,6 +161,38 @@ class KernelLaunch:
         self._blocks[index] = block
         return block
 
+    def take_fresh_blocks(self, count: int) -> List[ThreadBlock]:
+        """Materialise up to ``count`` never-issued blocks (SM-driver bulk issue).
+
+        Identical to calling :meth:`next_thread_block` ``count`` times (same
+        indices, same deterministic execution times), without the per-block
+        call overhead; returns fewer blocks when the grid runs out.
+        """
+        start = self._next_block_index
+        end = min(start + count, self.spec.num_thread_blocks)
+        if end <= start:
+            return []
+        self._next_block_index = end
+        blocks_map = self._blocks
+        launch_id = self.launch_id
+        base = self.spec.avg_tb_time_us
+        jitter = self.jitter
+        out: List[ThreadBlock] = []
+        if jitter is None:
+            for index in range(start, end):
+                block = ThreadBlock(launch_id, index, base)
+                blocks_map[index] = block
+                out.append(block)
+        else:
+            qualified = self.spec.qualified_name
+            for index in range(start, end):
+                block = ThreadBlock(
+                    launch_id, index, jitter.scaled(base, qualified, launch_id, index)
+                )
+                blocks_map[index] = block
+                out.append(block)
+        return out
+
     def block(self, block_index: int) -> ThreadBlock:
         """Return an already-materialised block by index."""
         return self._blocks[block_index]

@@ -6,18 +6,115 @@ execution time.  The SM itself is deliberately "dumb": the SM driver
 (:mod:`repro.gpu.sm_driver`) decides what to issue and when to preempt; the
 SM only tracks residency, schedules/cancels completion events and records
 per-SM context registers and utilisation statistics.
+
+Wave-level execution
+--------------------
+Blocks issued in one burst (:meth:`StreamingMultiprocessor.start_blocks`)
+whose completions fall on the *same instant* — same-kernel blocks with
+identical remaining time, the common case for regular grids with jitter
+disabled — share one aggregated "wave" completion event instead of one heap
+event each.  The wave fires its blocks' completions in exactly the order and
+with exactly the observer notifications the per-block events would have
+produced (the burst's per-block events would carry consecutive sequence
+numbers, so no foreign event can interleave), which keeps the optimisation
+observably invisible; ``tests/gpu/test_wave_equivalence.py`` proves it
+byte-identical against the per-block path forced by
+``GPUConfig.wave_batching = False``.  Blocks with heterogeneous remainders
+(jitter, restored preempted blocks) fall back to exact per-block events.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.thread_block import ThreadBlock
 from repro.sim.engine import Simulator
 from repro.sim.events import EventHandle
 from repro.sim.stats import UtilizationTracker
+
+
+class Wave:
+    """One completion event shared by thread blocks finishing at one instant.
+
+    A wave may span several SMs: entries are ``(sm, block, on_complete)``
+    triples in exact per-block-event order.  Firing completes each block
+    through its own SM's bookkeeping, skipping blocks whose completion was
+    superseded (evicted, or evicted and re-issued with a new event) via an
+    identity check against the wave the block is currently registered under.
+
+    When no observer is attached to an SM, a contiguous run of its blocks is
+    handed to the completion callback's ``batch_complete`` handler (see
+    :meth:`repro.gpu.sm_driver.SMDriver._batch_complete`), which completes
+    the run and refills the SM once instead of once per block.  The handler
+    only accepts runs it can prove behave identically to per-block
+    processing; anything else falls back to the exact path.
+    """
+
+    __slots__ = ("time", "seq", "handle", "event", "entries", "live")
+
+    def __init__(self, time: float, entries: list):
+        self.time = time
+        self.seq = -1
+        self.handle: Optional[EventHandle] = None
+        #: The underlying :class:`~repro.sim.events.Event` (join checks read
+        #: its ``fired``/``cancelled`` flags without property indirection).
+        self.event = None
+        self.entries = entries
+        #: Entries whose completion this event still owns; evictions
+        #: decrement it and cancel the event when it reaches zero, so a
+        #: fully-preempted wave behaves exactly like cancelled per-block
+        #: events (and never extends the run as a zombie no-op).
+        self.live = len(entries)
+
+    def fire(self) -> None:
+        entries = self.entries
+        # Attributed to the first SM of the wave; summing the counter over
+        # all SMs yields the exact number of fired block-carrying heap
+        # events, which the scale benchmark uses to convert raw event counts
+        # into block-equivalent throughput.
+        entries[0][0].completion_waves_fired += 1
+        n = len(entries)
+        i = 0
+        while i < n:
+            sm, block, on_complete = entries[i]
+            completions = sm._completions
+            if completions.get(block.key) is not self:
+                i += 1
+                continue
+            j = i + 1
+            while j < n:
+                entry = entries[j]
+                if (
+                    entry[0] is not sm
+                    or entry[2] is not on_complete
+                    or completions.get(entry[1].key) is not self
+                ):
+                    break
+                j += 1
+            if j - i > 1 and sm.observer is None:
+                batch = getattr(on_complete, "batch_complete", None)
+                if batch is not None and batch(sm, [e[1] for e in entries[i:j]], self):
+                    i = j
+                    continue
+            sm._finish_block(block, on_complete)
+            i += 1
+
+
+class WaveAnchor:
+    """The most recently scheduled wave of an execution engine.
+
+    Shared by every SM of the engine so that completions landing on the same
+    instant — including single-block refills issued from different SMs while
+    one generation of waves fires — can merge into one heap event.  See
+    :meth:`StreamingMultiprocessor.start_blocks` for the merge conditions.
+    """
+
+    __slots__ = ("wave",)
+
+    def __init__(self) -> None:
+        self.wave: Optional[Wave] = None
 
 
 class SMState(enum.Enum):
@@ -44,10 +141,19 @@ class StreamingMultiprocessor:
         The shared discrete-event simulator.
     """
 
-    def __init__(self, sm_id: int, config: GPUConfig, simulator: Simulator):
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        simulator: Simulator,
+        wave_anchor: Optional[WaveAnchor] = None,
+    ):
         self.sm_id = sm_id
         self.config = config
         self._sim = simulator
+        #: Wave-joining anchor, shared across the engine's SMs (a standalone
+        #: SM gets a private one).
+        self._wave_anchor = wave_anchor if wave_anchor is not None else WaveAnchor()
 
         self.state = SMState.IDLE
         #: Per-SM context registers added by the paper (Sec. 3.1).
@@ -61,7 +167,8 @@ class StreamingMultiprocessor:
         self.shared_memory_config: int = config.default_shared_memory_bytes
 
         self._resident: Dict[tuple[int, int], ThreadBlock] = {}
-        self._completion_events: Dict[tuple[int, int], EventHandle] = {}
+        #: Wave owning each resident block's pending completion.
+        self._completions: Dict[tuple[int, int], Wave] = {}
 
         #: Optional instrumentation sink (see :mod:`repro.validation`).
         #: Observers are notified of block start/completion/eviction and SM
@@ -73,6 +180,9 @@ class StreamingMultiprocessor:
         self.blocks_preempted = 0
         self.preemptions = 0
         self.setups = 0
+        #: Block-carrying completion events that fired with this SM as the
+        #: wave's first entry (see :meth:`Wave.fire`).
+        self.completion_waves_fired = 0
 
     # ------------------------------------------------------------------
     # Setup / teardown
@@ -111,6 +221,9 @@ class StreamingMultiprocessor:
         self.context_id_register = None
         self.page_table_register = None
         self.max_resident_blocks = 0
+        # Reset the shared-memory partition select: a released SM must not
+        # leak the previous kernel's configuration into the next setup.
+        self.shared_memory_config = self.config.default_shared_memory_bytes
         self.state = SMState.IDLE
         self.utilization.set_idle(self._sim.now)
         if self.observer is not None:
@@ -145,42 +258,160 @@ class StreamingMultiprocessor:
         extra_latency_us: float,
         on_complete: Callable[[ThreadBlock], None],
     ) -> None:
-        """Begin executing ``block`` on this SM.
+        """Begin executing one ``block`` on this SM.
 
         ``extra_latency_us`` accounts for issue latency and, for preempted
         blocks, the context-restore time; it is added before the block's
         remaining execution time.  ``on_complete`` is invoked when the block
         finishes (unless the completion is cancelled by a preemption).
         """
-        if not self.has_free_slots:
-            raise RuntimeError(f"SM{self.sm_id}: no free slot for another thread block")
-        if block.key in self._resident:
-            raise RuntimeError(f"SM{self.sm_id}: block {block.key} already resident")
-        now = self._sim.now
-        block.start(self.sm_id, now)
-        self._resident[block.key] = block
+        self.start_blocks([(block, extra_latency_us)], on_complete=on_complete)
+
+    def start_blocks(
+        self,
+        issues: List[Tuple[ThreadBlock, float]],
+        *,
+        on_complete: Callable[[ThreadBlock], None],
+    ) -> None:
+        """Begin executing a burst of ``(block, extra_latency_us)`` issues.
+
+        This is the SM driver's bulk-issue entry point (one call per SM per
+        dispatch tick).  Blocks whose completion falls on the same instant
+        are aggregated into a single wave completion event (unless
+        ``config.wave_batching`` is off); heterogeneous completion times get
+        exact per-block events.  Either way the blocks start — and later
+        complete — in issue order, with identical observer notifications.
+        """
+        if not issues:
+            return
+        sim = self._sim
+        now = sim.now
+        resident = self._resident
+        observer = self.observer
+        limit = self.max_resident_blocks
         self.utilization.set_busy(now)
-        if self.observer is not None:
-            self.observer.on_block_started(self, block)
+        batching = self.config.wave_batching
 
-        def _complete(blk: ThreadBlock = block) -> None:
-            self._finish_block(blk, on_complete)
+        if len(issues) == 1:
+            # Fast path for the dominant steady-state call: one refill issued
+            # from a completed block's callback.
+            block, extra_latency_us = issues[0]
+            if len(resident) >= limit:
+                raise RuntimeError(f"SM{self.sm_id}: no free slot for another thread block")
+            key = block.key
+            if key in resident:
+                raise RuntimeError(f"SM{self.sm_id}: block {key} already resident")
+            block.start(self.sm_id, now)
+            resident[key] = block
+            if observer is not None:
+                observer.on_block_started(self, block)
+            # Same float-addition order as the legacy ``schedule(delay)`` path
+            # (``now + (extra + remaining)``): completion instants must match
+            # the per-block events bit for bit.
+            self._schedule_completion(
+                now + (extra_latency_us + block.remaining_time_us),
+                [block],
+                on_complete,
+                batching,
+            )
+            return
 
-        handle = self._sim.schedule(
-            extra_latency_us + block.remaining_time_us,
-            _complete,
-            label=f"sm{self.sm_id}.block{block.key}.complete",
-        )
-        self._completion_events[block.key] = handle
+        # Validate the whole burst before mutating anything: a mid-burst
+        # failure must not leave earlier blocks resident and started with no
+        # completion event scheduled.
+        if len(resident) + len(issues) > limit:
+            raise RuntimeError(f"SM{self.sm_id}: no free slot for another thread block")
+        seen_keys = set()
+        for block, _ in issues:
+            key = block.key
+            if key in resident or key in seen_keys:
+                raise RuntimeError(f"SM{self.sm_id}: block {key} already resident")
+            seen_keys.add(key)
+
+        #: (completion time, blocks) per event to schedule, in issue order of
+        #: each group's first block — which makes the scheduled sequence
+        #: numbers land exactly where the per-block events' would.
+        bursts: List[Tuple[float, List[ThreadBlock]]] = []
+        wave_index: Dict[float, int] = {}
+        for block, extra_latency_us in issues:
+            key = block.key
+            block.start(self.sm_id, now)
+            resident[key] = block
+            if observer is not None:
+                observer.on_block_started(self, block)
+            completes_at = now + (extra_latency_us + block.remaining_time_us)
+            if batching:
+                index = wave_index.get(completes_at)
+                if index is None:
+                    wave_index[completes_at] = len(bursts)
+                    bursts.append((completes_at, [block]))
+                else:
+                    bursts[index][1].append(block)
+            else:
+                bursts.append((completes_at, [block]))
+        for completes_at, blocks in bursts:
+            self._schedule_completion(completes_at, blocks, on_complete, batching)
+
+    def _schedule_completion(
+        self,
+        completes_at: float,
+        blocks: List[ThreadBlock],
+        on_complete: Callable[[ThreadBlock], None],
+        batching: bool,
+    ) -> None:
+        """Create (or join) the completion event for ``blocks``.
+
+        Wave joining: when the engine's most recently scheduled completion
+        event falls on the same instant and *nothing* was scheduled since it
+        (sequence contiguity), the per-block events these blocks would have
+        received occupy the sequence slots directly after it, so no foreign
+        event can interleave between them — merging is firing-order
+        invisible.  This is what keeps steady-state refills (one block issued
+        per completed block of a firing wave, across all SMs) collapsed into
+        one event per generation.
+        """
+        completions = self._completions
+        sim = self._sim
+        if batching:
+            wave = self._wave_anchor.wave
+            # ``sim._seq - 1`` is Simulator.last_sequence, read directly on
+            # this hot path: equality with the anchor's seq proves nothing
+            # was scheduled since the anchor event was created.
+            if wave is not None and completes_at == wave.time and sim._seq - 1 == wave.seq:
+                event = wave.event
+                if not event.fired and not event.cancelled:
+                    entries = wave.entries
+                    for block in blocks:
+                        entries.append((self, block, on_complete))
+                        completions[block.key] = wave
+                    wave.live += len(blocks)
+                    return
+        wave = Wave(completes_at, [(self, block, on_complete) for block in blocks])
+        if len(blocks) == 1:
+            label = f"sm{self.sm_id}.block{blocks[0].key}.complete"
+        else:
+            label = f"sm{self.sm_id}.wave{len(blocks)}.complete"
+        handle = sim.schedule_at(completes_at, wave.fire, label=label)
+        wave.handle = handle
+        wave.seq = handle.seq
+        wave.event = handle._event
+        for block in blocks:
+            completions[block.key] = wave
+        if batching:
+            self._wave_anchor.wave = wave
 
     def _finish_block(self, block: ThreadBlock, on_complete: Callable[[ThreadBlock], None]) -> None:
         """Internal completion callback for a resident block."""
-        self._completion_events.pop(block.key, None)
-        self._resident.pop(block.key, None)
-        block.complete(self._sim.now)
+        now = self._sim.now
+        key = block.key
+        wave = self._completions.pop(key, None)
+        if wave is not None:
+            wave.live -= 1
+        self._resident.pop(key, None)
+        block.complete(now)
         self.blocks_executed += 1
         if not self._resident:
-            self.utilization.set_idle(self._sim.now)
+            self.utilization.set_idle(now)
         if self.observer is not None:
             self.observer.on_block_completed(self, block)
         on_complete(block)
@@ -188,17 +419,20 @@ class StreamingMultiprocessor:
     def evict_all(self) -> list[ThreadBlock]:
         """Preempt every resident block (context-switch mechanism).
 
-        Cancels the pending completion events, updates each block's remaining
-        execution time as of *now* and removes them from the SM.  Returns the
-        evicted blocks so the caller can push them into the PTBQ once the
-        context save completes.
+        Cancels the pending completion events (a wave event shared with
+        blocks still owned elsewhere is only cancelled once its last owner
+        lets go), updates each block's remaining execution time as of *now*
+        and removes them from the SM.  Returns the evicted blocks so the
+        caller can push them into the PTBQ once the context save completes.
         """
         now = self._sim.now
         evicted: list[ThreadBlock] = []
         for key, block in list(self._resident.items()):
-            handle = self._completion_events.pop(key, None)
-            if handle is not None:
-                self._sim.cancel(handle)
+            wave = self._completions.pop(key, None)
+            if wave is not None:
+                wave.live -= 1
+                if wave.live == 0:
+                    self._sim.cancel(wave.handle)
             block.preempt(now)
             evicted.append(block)
             del self._resident[key]

@@ -30,6 +30,17 @@ class SMDriver:
     def __init__(self, engine: "ExecutionEngine"):
         self._engine = engine
         self.stats = StatRegistry()
+        #: Per-SM completion callbacks, created once: bulk issue hands the
+        #: same callable to every block of a burst instead of binding one
+        #: closure per block.
+        self._completion_callbacks: dict[int, object] = {}
+        # Hot-path counters, resolved once (identical Counter objects to the
+        # registry's; the per-block paths must not pay a name lookup each).
+        self._ctr_blocks_issued = self.stats.counter("blocks_issued")
+        self._ctr_blocks_reissued = self.stats.counter("blocks_reissued")
+        self._ctr_blocks_completed = self.stats.counter("blocks_completed")
+        #: Issue latency, cached: the configuration is immutable.
+        self._tb_issue_latency_us = engine.system_config.gpu.tb_issue_latency_us
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -102,95 +113,177 @@ class SMDriver:
     def fill_sm(self, sm_id: int) -> None:
         """Issue thread blocks to ``sm_id`` until it is full or out of work.
 
+        The burst is collected first and issued through one
+        :meth:`~repro.gpu.sm.StreamingMultiprocessor.start_blocks` call per
+        dispatch tick, so same-completion blocks can share a wave event.
         Preempted thread blocks of the kernel are issued before fresh ones so
         that the number of PTBQ entries stays bounded (paper Sec. 3.3).  If
         the SM ends up with no resident blocks and nothing to issue, it is
         released back to the idle pool and the policy is notified.
         """
-        framework = self._framework
+        engine = self._engine
+        framework = engine.framework
         sm_entry = framework.sm_entry(sm_id)
         if sm_entry.state is not SMState.RUNNING:
             return
+        self._fill_running_sm(engine.sm(sm_id), sm_entry, framework)
+
+    def _fill_running_sm(self, sm, sm_entry, framework, entry=None, callback=None) -> None:
+        """Fill a RUNNING SM (hot path; callers prefetched the lookups).
+
+        ``entry``/``callback`` may be pre-resolved by the completion callback
+        (they are per-run-stable); per free slot the pick order is unchanged:
+        preempted blocks of the kernel first (the engine routes each restore
+        cost to the mechanism that evicted the block), then fresh blocks.
+        """
         ksr_index = sm_entry.ksr_index
-        if not framework.ksr_valid(ksr_index):
-            self._release_sm(sm_id, owner_ksr=ksr_index)
-            return
-        entry = framework.ksr(ksr_index)
+        if entry is None:
+            entry = framework.ksrt.find(ksr_index) if ksr_index is not None else None
+            if entry is None:
+                self._release_sm(sm.sm_id, owner_ksr=ksr_index)
+                return
         launch = entry.launch
-        sm = self._engine.sm(sm_id)
 
-        while sm.has_free_slots:
-            block, restore_latency = self._next_block(ksr_index, launch)
-            if block is None:
-                break
-            self._issue_block(sm, block, restore_latency)
-        framework.set_sm_running_blocks(sm_id, sm.resident_blocks)
+        resident = sm._resident
+        free = sm.max_resident_blocks - len(resident)
+        if free > 0:
+            tb_issue_latency = self._tb_issue_latency_us
+            ptbq_pop = framework.ptbq(ksr_index).pop
+            engine = self._engine
+            issues: List[tuple[ThreadBlock, float]] = []
+            while free > 0:
+                block = ptbq_pop()
+                if block is None:
+                    # The PTBQ cannot refill during the loop: every remaining
+                    # slot takes a fresh block, so take them in one call.
+                    fresh = launch.take_fresh_blocks(free)
+                    if fresh:
+                        self._ctr_blocks_issued.value += len(fresh)
+                        for fresh_block in fresh:
+                            issues.append((fresh_block, tb_issue_latency))
+                        free -= len(fresh)
+                    break
+                restore = engine.restore_latency_us(
+                    block, launch.spec.usage.state_bytes_per_block
+                )
+                self._ctr_blocks_reissued.value += 1
+                issues.append((block, tb_issue_latency + restore))
+                free -= 1
+            if issues:
+                if callback is None:
+                    callback = self._completion_callback(sm.sm_id)
+                sm.start_blocks(issues, on_complete=callback)
+        sm_entry.running_blocks = len(resident)
 
-        if sm.is_empty:
-            self._release_sm(sm_id, owner_ksr=ksr_index)
+        if not resident:
+            self._release_sm(sm.sm_id, owner_ksr=ksr_index)
 
-    def _next_block(
-        self, ksr_index: int, launch: KernelLaunch
-    ) -> tuple[Optional[ThreadBlock], float]:
-        """Pick the next block to issue: preempted blocks first, then fresh."""
-        framework = self._framework
-        block = framework.pop_preempted_block(ksr_index)
-        if block is not None:
-            usage = launch.spec.usage
-            # The engine routes the restore cost to the mechanism that
-            # evicted this block (mechanisms are chosen per preemption).
-            restore = self._engine.restore_latency_us(block, usage.state_bytes_per_block)
-            self.stats.counter("blocks_reissued").add()
-            return block, restore
-        if launch.has_unissued_blocks:
-            self.stats.counter("blocks_issued").add()
-            return launch.next_thread_block(), 0.0
-        return None, 0.0
+    def _completion_callback(self, sm_id: int):
+        """The (cached) per-SM completion callback handed to issued blocks.
 
-    def _issue_block(
-        self, sm: StreamingMultiprocessor, block: ThreadBlock, restore_latency: float
-    ) -> None:
-        """Start one block on ``sm``."""
-        extra = self._config.gpu.tb_issue_latency_us + restore_latency
-        sm.start_block(
-            block,
-            extra_latency_us=extra,
-            on_complete=lambda blk, sm_id=sm.sm_id: self.on_block_completed(sm_id, blk),
-        )
+        The closure pre-binds every per-run-stable object (engine, framework,
+        SM, SMST entry, simulator, counters): block completion is the hottest
+        model path, and the prologue lookups would otherwise repeat hundreds
+        of thousands of times on large-GPU scenarios.  The body mirrors
+        :meth:`on_block_completed` exactly.
+        """
+        callback = self._completion_callbacks.get(sm_id)
+        if callback is None:
+            engine = self._engine
+            framework = engine.framework
+            simulator = engine.simulator
+            sm = engine.sm(sm_id)
+            sm_entry = framework.sm_entry(sm_id)
+            index_for_launch = framework.ksrt.index_for_launch
+            ksr = framework.ksr
+            completed_counter = self._ctr_blocks_completed
+            resident = sm._resident
+
+            def callback(block: ThreadBlock) -> None:
+                sm_entry.running_blocks = len(resident)
+                ksr_index = index_for_launch(block.kernel_launch_id)
+                if ksr_index is None:  # pragma: no cover - defensive
+                    raise RuntimeError("completed block belongs to no active kernel")
+                entry = ksr(ksr_index)
+                launch = entry.launch
+                launch.notify_block_completed(block, simulator.now)
+                completed_counter.value += 1
+
+                if launch.all_blocks_completed:
+                    # See on_block_completed: release before finish_kernel.
+                    if sm_entry.state is SMState.RUNNING and not resident:
+                        self._release_sm(sm_id, owner_ksr=ksr_index)
+                    engine.finish_kernel(ksr_index)
+
+                state = sm_entry.state
+                if state is SMState.RESERVED:
+                    engine.mechanism_for_sm(sm_id).on_block_completed(sm)
+                elif state is SMState.RUNNING:
+                    # The SM still runs this (unfinished) kernel: its KSRT
+                    # entry and this callback can be reused by the fill.
+                    self._fill_running_sm(sm, sm_entry, framework, entry, callback)
+
+            def batch_complete(sm, blocks, wave) -> bool:
+                """Complete a contiguous same-SM run of a wave in one pass.
+
+                Only reachable with no SM observer attached (see
+                :meth:`repro.gpu.sm.Wave.fire`).  Accepts the run only when
+                it provably behaves identically to per-block processing:
+                every block belongs to the SM's configured RUNNING kernel and
+                the kernel cannot finish within the run (so no release /
+                finish-kernel / mechanism hooks interleave).  The SM is then
+                refilled once; the refill issues the same blocks, in the same
+                order, with the same completion instants the per-block path
+                would have produced.
+                """
+                if sm_entry.state is not SMState.RUNNING:
+                    return False
+                launch_id = blocks[0].kernel_launch_id
+                for block in blocks:
+                    if block.kernel_launch_id != launch_id:
+                        return False
+                ksr_index = index_for_launch(launch_id)
+                if ksr_index is None or ksr_index != sm_entry.ksr_index:
+                    return False
+                entry = ksr(ksr_index)
+                launch = entry.launch
+                count = len(blocks)
+                if launch.completed_blocks + count >= launch.spec.num_thread_blocks:
+                    return False
+                now = simulator.now
+                completions = sm._completions
+                for block in blocks:
+                    del completions[block.key]
+                    del resident[block.key]
+                    block.complete(now)
+                    launch.notify_block_completed(block, now)
+                wave.live -= count
+                sm.blocks_executed += count
+                if not resident:
+                    sm.utilization.set_idle(now)
+                completed_counter.value += count
+                sm_entry.running_blocks = len(resident)
+                self._fill_running_sm(sm, sm_entry, framework, entry, callback)
+                return True
+
+            callback.batch_complete = batch_complete
+            self._completion_callbacks[sm_id] = callback
+        return callback
 
     # ------------------------------------------------------------------
     # Completion handling
     # ------------------------------------------------------------------
     def on_block_completed(self, sm_id: int, block: ThreadBlock) -> None:
-        """A thread block resident on ``sm_id`` finished execution."""
-        framework = self._framework
-        now = self._sim.now
-        sm_entry = framework.sm_entry(sm_id)
-        framework.set_sm_running_blocks(sm_id, self._engine.sm(sm_id).resident_blocks)
+        """A thread block resident on ``sm_id`` finished execution.
 
-        ksr_index = framework.ksr_index_for_launch(block.kernel_launch_id)
-        if ksr_index is None:  # pragma: no cover - defensive
-            raise RuntimeError("completed block belongs to no active kernel")
-        entry = framework.ksr(ksr_index)
-        entry.launch.notify_block_completed(block, now)
-        self.stats.counter("blocks_completed").add()
-
-        if entry.launch.all_blocks_completed:
-            # The kernel is finishing and this SM (necessarily empty now) was
-            # its last executor.  Release the SM *before* announcing the
-            # completion: the policy hooks triggered by finish_kernel (which
-            # may admit a new kernel that reuses this KSRT index) must never
-            # observe a stale RUNNING association for an empty SM.
-            if sm_entry.state is SMState.RUNNING and self._engine.sm(sm_id).is_empty:
-                self._release_sm(sm_id, owner_ksr=ksr_index)
-            self._engine.finish_kernel(ksr_index)
-
-        if sm_entry.state is SMState.RESERVED:
-            # The policy wants this SM; the mechanism the controller picked
-            # for this preemption decides when it is free.
-            self._engine.mechanism_for_sm(sm_id).on_block_completed(self._engine.sm(sm_id))
-        elif sm_entry.state is SMState.RUNNING:
-            self.fill_sm(sm_id)
+        The work happens in the per-SM completion callback (one
+        implementation, pre-bound lookups): when the kernel finishes, the SM
+        (necessarily empty) is released *before* ``finish_kernel`` is
+        announced, so policy hooks never observe a stale RUNNING association;
+        a RESERVED SM routes the completion to the mechanism owning its
+        preemption; a RUNNING SM is refilled.
+        """
+        self._completion_callback(sm_id)(block)
 
     # ------------------------------------------------------------------
     # Preemption completion

@@ -9,7 +9,6 @@ independent of every other block, so it can be re-issued to any SM later.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Optional
 
 
@@ -27,9 +26,12 @@ class ThreadBlockState(enum.Enum):
     COMPLETED = "completed"
 
 
-@dataclass
 class ThreadBlock:
     """One thread block of a kernel launch.
+
+    A plain ``__slots__`` class: large-GPU scenarios materialise hundreds of
+    thousands of blocks, and block attribute access sits on the SM's
+    completion hot path.
 
     Attributes
     ----------
@@ -43,30 +45,58 @@ class ThreadBlock:
     remaining_time_us:
         Work left to do.  Equal to ``execution_time_us`` until the block is
         preempted mid-flight by a context switch.
+    key:
+        ``(launch id, block index)`` pair identifying the block (precomputed:
+        both components are immutable).
     """
 
-    kernel_launch_id: int
-    block_index: int
-    execution_time_us: float
-    remaining_time_us: float = field(default=None)  # type: ignore[assignment]
-    state: ThreadBlockState = ThreadBlockState.PENDING
+    __slots__ = (
+        "kernel_launch_id",
+        "block_index",
+        "execution_time_us",
+        "remaining_time_us",
+        "state",
+        "sm_id",
+        "first_start_time_us",
+        "last_start_time_us",
+        "completion_time_us",
+        "preemption_count",
+        "key",
+    )
 
-    #: SM the block is currently resident on (``None`` when not resident).
-    sm_id: Optional[int] = None
-    #: Simulation time the block first started executing.
-    first_start_time_us: Optional[float] = None
-    #: Simulation time the block last (re)started executing.
-    last_start_time_us: Optional[float] = None
-    #: Simulation time the block completed.
-    completion_time_us: Optional[float] = None
-    #: How many times the block has been preempted by a context switch.
-    preemption_count: int = 0
-
-    def __post_init__(self) -> None:
-        if self.execution_time_us <= 0:
+    def __init__(
+        self,
+        kernel_launch_id: int,
+        block_index: int,
+        execution_time_us: float,
+        remaining_time_us: Optional[float] = None,
+        state: ThreadBlockState = ThreadBlockState.PENDING,
+        sm_id: Optional[int] = None,
+        first_start_time_us: Optional[float] = None,
+        last_start_time_us: Optional[float] = None,
+        completion_time_us: Optional[float] = None,
+        preemption_count: int = 0,
+    ):
+        if execution_time_us <= 0:
             raise ValueError("execution_time_us must be positive")
-        if self.remaining_time_us is None:
-            self.remaining_time_us = self.execution_time_us
+        self.kernel_launch_id = kernel_launch_id
+        self.block_index = block_index
+        self.execution_time_us = execution_time_us
+        self.remaining_time_us = (
+            execution_time_us if remaining_time_us is None else remaining_time_us
+        )
+        self.state = state
+        #: SM the block is currently resident on (``None`` when not resident).
+        self.sm_id = sm_id
+        #: Simulation time the block first started executing.
+        self.first_start_time_us = first_start_time_us
+        #: Simulation time the block last (re)started executing.
+        self.last_start_time_us = last_start_time_us
+        #: Simulation time the block completed.
+        self.completion_time_us = completion_time_us
+        #: How many times the block has been preempted by a context switch.
+        self.preemption_count = preemption_count
+        self.key = (kernel_launch_id, block_index)
 
     # ------------------------------------------------------------------
     # State transitions
@@ -118,11 +148,6 @@ class ThreadBlock:
     def was_preempted(self) -> bool:
         """Whether the block has ever been preempted."""
         return self.preemption_count > 0
-
-    @property
-    def key(self) -> tuple[int, int]:
-        """(launch id, block index) pair identifying the block."""
-        return (self.kernel_launch_id, self.block_index)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -7,6 +7,26 @@ as a set of callbacks scheduled on one shared :class:`Simulator` instance.
 
 Times are floats in **microseconds**.  The engine never rounds times; the
 models themselves decide their own granularity.
+
+Hot-path design
+---------------
+Large-GPU scenarios (see :mod:`repro.workloads.large_gpu`) push hundreds of
+thousands of events through one simulator, so the schedule/run loop is built
+for throughput while keeping the observable contract bit-for-bit stable:
+
+* The heap stores ``(time, priority, seq, event)`` tuples: ordering is
+  C-level tuple comparison, and the unique per-simulator ``seq`` guarantees
+  comparisons never reach the :class:`~repro.sim.events.Event` object (a
+  plain ``__slots__`` class).
+* :meth:`schedule_at` and the :meth:`run` loop take a no-observer fast path:
+  the per-event observer fan-out costs one attribute check unless an
+  observer (validation, telemetry) is actually attached.
+* Cancelled events are skipped lazily when popped; when too many dead
+  entries accumulate (cancellation-heavy preemption scenarios), the heap is
+  compacted in place so memory and pop cost stay bounded.
+* :attr:`pending_events` is an exact O(1) live counter and
+  :attr:`peak_heap_entries` records the high-water mark of the heap
+  (``benchmarks/bench_scale.py`` reports it as the peak heap size).
 """
 
 from __future__ import annotations
@@ -14,7 +34,11 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Iterable, Optional
 
-from repro.sim.events import Event, EventHandle, make_event
+from repro.sim.events import Event, EventHandle
+
+#: Compact the heap when it holds more than this many dead (cancelled)
+#: entries *and* they outnumber the live ones (see :meth:`Simulator._maybe_compact`).
+_COMPACTION_MIN_DEAD = 64
 
 
 class SimulationError(RuntimeError):
@@ -37,17 +61,24 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        #: Heap of ``(time, priority, seq, event)`` tuples.
+        self._heap: list = []
         self._running = False
         self._stopped = False
+        #: Per-simulator event sequence (tie-breaker; see events.py).
+        self._seq = 0
         #: Exact number of non-cancelled events in the heap; kept so that
         #: :attr:`pending_events` is O(1) (it is queried inside the validation
         #: layer's assertion loops).
         self._live_events = 0
+        #: Cancelled events still sitting in the heap (compaction trigger).
+        self._dead_entries = 0
         self._observers: list = []
         self.events_processed = 0
         self.events_scheduled = 0
         self.events_cancelled = 0
+        #: High-water mark of heap entries (live + dead), for benchmarks.
+        self.peak_heap_entries = 0
 
     # ------------------------------------------------------------------
     # Time
@@ -91,11 +122,16 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule an event at t={time} before current time t={self._now}"
             )
-        event = make_event(time, callback, priority=priority, label=label)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, label)
         event.on_cancelled = self._note_cancellation
-        heapq.heappush(self._heap, event)
+        heap = self._heap
+        heapq.heappush(heap, (time, priority, seq, event))
         self._live_events += 1
         self.events_scheduled += 1
+        if len(heap) > self.peak_heap_entries:
+            self.peak_heap_entries = len(heap)
         if self._observers:
             for observer in self._observers:
                 observer.on_event_scheduled(event, self._now)
@@ -109,6 +145,25 @@ class Simulator:
         """Cancellation bookkeeping (fires once per cancelled live event)."""
         self._live_events -= 1
         self.events_cancelled += 1
+        self._dead_entries += 1
+        if self._dead_entries > _COMPACTION_MIN_DEAD:
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Drop dead heap entries once they outnumber the live ones.
+
+        Cancellation-heavy scenarios (context-switch preemption cancels one
+        completion event per evicted wave) would otherwise grow the heap with
+        entries that are only discarded when popped.  Compaction rewrites the
+        heap *in place* (slice assignment) so aliases held by a running
+        :meth:`run` loop stay valid.
+        """
+        heap = self._heap
+        if self._dead_entries * 2 <= len(heap):
+            return
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heapq.heapify(heap)
+        self._dead_entries = 0
 
     # ------------------------------------------------------------------
     # Observers
@@ -131,28 +186,38 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _fire(self, entry) -> None:
+        """Advance the clock to ``entry`` and run its callback."""
+        event = entry[3]
+        previous_now = self._now
+        # The event left the heap: late cancels must not touch the count, and
+        # ``fired`` must flip *before* the callback runs (wave joining relies
+        # on a firing event no longer reading as pending).
+        event.fired = True
+        event.on_cancelled = None
+        self._live_events -= 1
+        self._now = entry[0]
+        self.events_processed += 1
+        if self._observers:
+            for observer in self._observers:
+                observer.on_event_fired(event, previous_now)
+        event.callback()
+
     def step(self) -> bool:
         """Process the next pending event.
 
         Returns ``True`` if an event was processed, ``False`` if the event
         queue is empty (cancelled events are discarded transparently).
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[3].cancelled:
+                self._dead_entries -= 1
                 continue
-            if event.time < self._now:  # pragma: no cover - defensive
+            if entry[0] < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event heap yielded an event from the past")
-            previous_now = self._now
-            # The event left the heap: late cancels must not touch the count.
-            event.on_cancelled = None
-            self._live_events -= 1
-            self._now = event.time
-            self.events_processed += 1
-            if self._observers:
-                for observer in self._observers:
-                    observer.on_event_fired(event, previous_now)
-            event.callback()
+            self._fire(entry)
             return True
         return False
 
@@ -175,21 +240,26 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        heap = self._heap  # stable alias: compaction rewrites in place
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                if self._stopped:
-                    break
-                next_event = self._peek()
-                if next_event is None:
-                    break
-                if until is not None and next_event.time > until:
+            while heap and not self._stopped:
+                entry = heap[0]
+                if entry[3].cancelled:
+                    heappop(heap)
+                    self._dead_entries -= 1
+                    continue
+                if until is not None and entry[0] > until:
                     break
                 if max_events is not None and processed >= max_events:
                     raise SimulationError(
                         f"simulation exceeded max_events={max_events}; possible livelock"
                     )
-                if self.step():
-                    processed += 1
+                heappop(heap)
+                if entry[0] < self._now:  # pragma: no cover - defensive
+                    raise SimulationError("event heap yielded an event from the past")
+                self._fire(entry)
+                processed += 1
             # One consistent clamp for every exit path (drained, reached
             # ``until``, or stopped): the clock advances to ``until``, but
             # never past a still-pending event (a stopped run may leave
@@ -197,9 +267,9 @@ class Simulator:
             # would break the no-events-in-the-past invariant on resume).
             if until is not None:
                 bound = until
-                next_event = self._peek()
-                if next_event is not None and next_event.time < bound:
-                    bound = next_event.time
+                next_time = self.peek_time()
+                if next_time is not None and next_time < bound:
+                    bound = next_time
                 self._now = max(self._now, bound)
         finally:
             self._running = False
@@ -213,18 +283,34 @@ class Simulator:
     # ------------------------------------------------------------------
     def _peek(self) -> Optional[Event]:
         """Return the next non-cancelled event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._dead_entries -= 1
+        return heap[0][3] if heap else None
 
     @property
     def pending_events(self) -> int:
         """Number of non-cancelled events still queued (O(1))."""
         return self._live_events
 
+    @property
+    def last_sequence(self) -> int:
+        """Sequence number of the most recently scheduled event (-1 if none).
+
+        Introspection form of the sequence-contiguity signal the SM's wave
+        joining relies on ("nothing was scheduled since event X") — the join
+        hot path itself reads ``sim._seq`` directly
+        (:meth:`repro.gpu.sm.StreamingMultiprocessor._schedule_completion`),
+        so keep this definition in sync with :attr:`_seq`.
+        """
+        return self._seq - 1
+
     def pending_labels(self) -> Iterable[str]:
         """Labels of pending events (debugging aid for tests)."""
-        return [event.label for event in sorted(self._heap) if not event.cancelled]
+        return [
+            entry[3].label for entry in sorted(self._heap) if not entry[3].cancelled
+        ]
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""

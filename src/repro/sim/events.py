@@ -5,21 +5,32 @@ by ``(time, priority, sequence)`` so that simultaneous events fire in a
 deterministic order: first by explicit priority (lower fires earlier), then by
 scheduling order.  Determinism matters because the whole reproduction relies
 on seeded, repeatable runs (see DESIGN.md section 5).
+
+Performance notes
+-----------------
+Events sit on the simulator's hottest path: large-GPU scenarios create one
+event per thread-block *wave* (see :mod:`repro.gpu.sm`) and still push
+hundreds of thousands of them through the heap.  :class:`Event` is therefore
+a plain ``__slots__`` class (no per-instance ``__dict__``, no dataclass
+machinery in ``__init__``), and the :class:`~repro.sim.engine.Simulator`
+stores ``(time, priority, seq, event)`` tuples on its heap so ordering uses
+C-level tuple comparison instead of Python ``__lt__`` calls.  ``seq`` is
+unique per simulator, so comparisons never reach the event object itself.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
-#: Monotonically increasing sequence shared by every event ever created.  The
-#: sequence only breaks ties between events scheduled for the same time and
-#: priority, so sharing it across simulator instances is harmless.
+#: Monotonically increasing sequence shared by every event created through
+#: :func:`make_event`.  The :class:`~repro.sim.engine.Simulator` keeps its own
+#: per-instance counter (cheaper, and ordering only matters within one
+#: simulator); the global sequence exists for events built directly by tests
+#: and tools.
 _EVENT_SEQUENCE = itertools.count()
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
@@ -39,19 +50,44 @@ class Event:
         Zero-argument callable invoked when the event fires.
     cancelled:
         Cancelled events stay in the heap but are skipped when popped.
+    on_cancelled:
+        Invoked exactly once when a still-pending event is cancelled.  The
+        owning simulator uses it to keep its live-event count exact even when
+        handles are cancelled directly (without going through
+        :meth:`repro.sim.engine.Simulator.cancel`).
     """
 
-    time: float
-    priority: int
-    seq: int = field(compare=True)
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
-    #: Invoked exactly once when a still-pending event is cancelled.  The
-    #: owning simulator uses it to keep its live-event count exact even when
-    #: handles are cancelled directly (without going through
-    #: :meth:`repro.sim.engine.Simulator.cancel`).
-    on_cancelled: Callable[[], None] | None = field(default=None, compare=False)
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "cancelled",
+        "fired",
+        "label",
+        "on_cancelled",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        label: str = "",
+        cancelled: bool = False,
+        on_cancelled: Optional[Callable[[], None]] = None,
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = cancelled
+        #: Set by the simulator the moment the event is popped for execution
+        #: (before its callback runs); used to tell pending events apart.
+        self.fired = False
+        self.on_cancelled = on_cancelled
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when it is popped."""
@@ -61,6 +97,27 @@ class Event:
         if self.on_cancelled is not None:
             notify, self.on_cancelled = self.on_cancelled, None
             notify()
+
+    # Ordering is kept for direct users (the simulator compares heap tuples,
+    # never events).
+    def _key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self._key() >= other._key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.3f}, prio={self.priority}, seq={self.seq}, {state})"
 
 
 class EventHandle:
@@ -90,6 +147,17 @@ class EventHandle:
         """Whether :meth:`cancel` has been called on this handle."""
         return self._event.cancelled
 
+    @property
+    def seq(self) -> int:
+        """Sequence number assigned at scheduling time."""
+        return self._event.seq
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event still sits un-fired and un-cancelled in the heap."""
+        event = self._event
+        return not event.fired and not event.cancelled
+
     def cancel(self) -> None:
         """Cancel the pending event; a no-op if it already fired."""
         self._event.cancel()
@@ -112,13 +180,7 @@ def make_event(
     label: str = "",
 ) -> Event:
     """Create an :class:`Event` with the next global sequence number."""
-    return Event(
-        time=time,
-        priority=priority,
-        seq=next_sequence(),
-        callback=callback,
-        label=label,
-    )
+    return Event(time, priority, next_sequence(), callback, label)
 
 
 def callback_with_args(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Callable[[], None]:

@@ -1,0 +1,39 @@
+"""Shared writer for the repository's ``BENCH_results.json`` documents.
+
+Several producers record into one results file — the pytest benchmark
+harness (``benchmarks/conftest.py``, section ``experiment_bench``) and the
+scale benchmark (``benchmarks/bench_scale.py``, section ``scale_bench``) —
+and the committed file additionally carries a stable
+``pre_refactor_reference`` section.  Each producer must replace only its own
+section, so all of them funnel through :func:`merge_section`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+
+def merge_section(path: str, section: str, payload: Dict[str, Any]) -> None:
+    """Write ``payload`` under ``section`` in the JSON document at ``path``.
+
+    Every other top-level key of an existing JSON object is preserved; an
+    unreadable or non-object file is replaced with a fresh document.
+    """
+    document: Dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if isinstance(existing, dict):
+                document = existing
+        except (OSError, ValueError):
+            pass
+    document[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+__all__ = ["merge_section"]

@@ -12,8 +12,16 @@
 * :mod:`repro.workloads.synthetic` — the seeded scenario fuzzer: arbitrary
   multiprogram mixes (grid sizes, footprints, phase balance, arrivals,
   priorities, process counts) derived from a single integer seed.
+* :mod:`repro.workloads.large_gpu` — the modern-scale scenario family:
+  8/32/128-SM GPUs with proportionally grown synthetic workloads, used by
+  the ``scale`` experiment and ``benchmarks/bench_scale.py``.
 """
 
+from repro.workloads.large_gpu import (
+    LARGE_GPU_SM_COUNTS,
+    generate_large_gpu_scenario,
+    generate_large_gpu_scenarios,
+)
 from repro.workloads.multiprogram import (
     IsolatedBaseline,
     WorkloadResult,
@@ -38,6 +46,9 @@ from repro.workloads.synthetic import (
 )
 
 __all__ = [
+    "LARGE_GPU_SM_COUNTS",
+    "generate_large_gpu_scenario",
+    "generate_large_gpu_scenarios",
     "SyntheticSuite",
     "build_synthetic_trace",
     "generate_synthetic_scenario",

@@ -32,6 +32,7 @@ True
 
 from __future__ import annotations
 
+import dataclasses
 import re
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -50,7 +51,11 @@ MIB = 1024 * KIB
 
 #: Application-name prefix marking synthetic (seed-derived) applications.
 SYNTHETIC_PREFIX = "syn"
-_NAME_RE = re.compile(r"^syn-(\d+)-(\d+)$")
+#: ``syn-<seed>-<index>`` plus an optional ``-x<multiplier>`` suffix that
+#: scales the kernel grids (and data-transfer sizes) of the derived
+#: application — the lever the ``large_gpu`` scenario family uses to grow
+#: workloads proportionally with the SM count.
+_NAME_RE = re.compile(r"^syn-(\d+)-(\d+)(?:-x(\d+))?$")
 
 #: Policy / mechanism / controller / transfer-policy pools the scenario
 #: fuzzer draws from.  Registry names — extend these to fuzz custom
@@ -86,11 +91,19 @@ def _pick(options: Sequence, seed: int, *key):
 # ----------------------------------------------------------------------
 # Application names
 # ----------------------------------------------------------------------
-def synthetic_app_name(seed: int, index: int) -> str:
-    """The canonical name of synthetic application ``index`` of ``seed``."""
+def synthetic_app_name(seed: int, index: int, multiplier: int = 1) -> str:
+    """The canonical name of synthetic application ``index`` of ``seed``.
+
+    ``multiplier`` > 1 appends a ``-x<multiplier>`` suffix: the application
+    keeps the same seed-derived shape but its kernel grids and transfer sizes
+    are scaled by the multiplier (see :func:`build_synthetic_trace`).
+    """
     if seed < 0 or index < 0:
         raise ValueError("seed and index must be non-negative")
-    return f"{SYNTHETIC_PREFIX}-{seed}-{index}"
+    if multiplier < 1:
+        raise ValueError("multiplier must be at least 1")
+    base = f"{SYNTHETIC_PREFIX}-{seed}-{index}"
+    return base if multiplier == 1 else f"{base}-x{multiplier}"
 
 
 def is_synthetic_app(name: str) -> bool:
@@ -104,6 +117,14 @@ def parse_synthetic_app(name: str) -> Tuple[int, int]:
     if match is None:
         raise ValueError(f"not a synthetic application name: {name!r}")
     return int(match.group(1)), int(match.group(2))
+
+
+def synthetic_block_multiplier(name: str) -> int:
+    """The grid multiplier encoded in a synthetic application name (``1`` if none)."""
+    match = _NAME_RE.match(name)
+    if match is None:
+        raise ValueError(f"not a synthetic application name: {name!r}")
+    return int(match.group(3)) if match.group(3) is not None else 1
 
 
 # ----------------------------------------------------------------------
@@ -187,8 +208,15 @@ def build_synthetic_trace(
     ``tb_scale``, launch counts with ``launch_scale``, and host-side time and
     transfer sizes with their product, so the compute/transfer balance of the
     application is preserved across scales.
+
+    A ``-x<multiplier>`` name suffix (see :func:`synthetic_app_name`) scales
+    the kernel grids and transfer sizes *up* by the multiplier after the
+    workload-scale reduction: the ``large_gpu`` scenario family uses it to
+    grow work proportionally with the simulated SM count while keeping every
+    other derived quantity (per-block times, footprints, phase mix) fixed.
     """
     seed, index = parse_synthetic_app(name)
+    multiplier = synthetic_block_multiplier(name)
     params = derive_app_params(seed, index)
     scale = scale if scale is not None else WorkloadScale.full()
     host_scale = scale.host_scale
@@ -196,6 +224,11 @@ def build_synthetic_trace(
     phases = []
     for spec, cpu_us in zip(params.kernels, params.per_launch_cpu_us):
         scaled_spec = spec.scaled(scale.tb_scale)
+        if multiplier > 1:
+            scaled_spec = dataclasses.replace(
+                scaled_spec,
+                num_thread_blocks=scaled_spec.num_thread_blocks * multiplier,
+            )
         phases.append(
             KernelPhase(
                 kernel=scaled_spec,
@@ -206,8 +239,8 @@ def build_synthetic_trace(
     return TraceGenerator().build(
         name,
         phases=phases,
-        input_bytes=max(4 * KIB, int(params.input_bytes * host_scale)),
-        output_bytes=max(4 * KIB, int(params.output_bytes * host_scale)),
+        input_bytes=max(4 * KIB, int(params.input_bytes * host_scale) * multiplier),
+        output_bytes=max(4 * KIB, int(params.output_bytes * host_scale) * multiplier),
         setup_cpu_time_us=max(1.0, params.setup_cpu_us * host_scale),
         teardown_cpu_time_us=max(1.0, params.teardown_cpu_us * host_scale),
     )
@@ -291,19 +324,28 @@ def generate_synthetic_scenario(
     scheme: Optional[SchemeSpec] = None,
     min_processes: int = 2,
     max_processes: int = 5,
+    block_multiplier: int = 1,
+    config_overrides: Optional[dict] = None,
 ) -> ScenarioSpec:
     """Derive one complete multiprogram scenario from an integer seed.
 
     The process count, per-process applications, high-priority slot, priority
     values, arrival stagger and (unless overridden) the scheduling scheme are
     all seed-derived; the same seed always yields byte-identical spec JSON.
+
+    ``block_multiplier`` scales every application's kernel grids (through the
+    ``-x<multiplier>`` name suffix) and ``config_overrides`` rides through to
+    the spec verbatim — together they let the ``large_gpu`` scenario family
+    reuse the fuzzer's seed-derived shapes at modern-GPU scale.
     """
     if seed < 0:
         raise ValueError("seed must be non-negative")
     if not 1 <= min_processes <= max_processes:
         raise ValueError("need 1 <= min_processes <= max_processes")
     num_processes = _int_between(min_processes, max_processes, seed, "num_processes")
-    applications = tuple(synthetic_app_name(seed, i) for i in range(num_processes))
+    applications = tuple(
+        synthetic_app_name(seed, i, block_multiplier) for i in range(num_processes)
+    )
     if num_processes >= 2 and _u(seed, "priority?") < 0.5:
         high_priority_index: Optional[int] = _int_between(
             0, num_processes - 1, seed, "hp_index"
@@ -318,6 +360,7 @@ def generate_synthetic_scenario(
         high_priority_index=high_priority_index,
         workload_id=seed,
         scale=scale,
+        config_overrides=config_overrides or {},
         min_iterations=_int_between(1, 2, seed, "min_iterations"),
         start_stagger_us=round(_u(seed, "stagger") * 25.0, 3),
         high_priority=high_priority,
@@ -370,6 +413,7 @@ __all__ = [
     "synthetic_app_name",
     "is_synthetic_app",
     "parse_synthetic_app",
+    "synthetic_block_multiplier",
     "derive_app_params",
     "build_synthetic_trace",
     "generate_synthetic_scheme",

@@ -91,15 +91,29 @@ class TestSMST:
 
     def test_state_queries(self):
         smst = SMStatusTable(4)
-        smst.entry(0).state = SMState.RUNNING
+        smst.set_state(0, SMState.RUNNING)
         smst.entry(0).ksr_index = 2
-        smst.entry(1).state = SMState.RESERVED
+        smst.set_state(1, SMState.RESERVED)
         smst.entry(1).ksr_index = 2
         assert smst.idle_sms() == [2, 3]
         assert smst.running_sms() == [0]
         assert smst.reserved_sms() == [1]
+        assert smst.reserved_count == 1
         assert smst.sms_for_ksr(2) == [0, 1]
         assert smst.sms_for_ksr(2, state=SMState.RUNNING) == [0]
+
+    def test_set_state_keeps_idle_and_reserved_bookkeeping_exact(self):
+        smst = SMStatusTable(3)
+        smst.set_state(1, SMState.SETUP)
+        smst.set_state(1, SMState.RUNNING)
+        smst.set_state(1, SMState.RESERVED)
+        assert smst.idle_sms() == [0, 2]
+        assert smst.reserved_count == 1
+        smst.set_state(1, SMState.RESERVED)  # idempotent transitions
+        assert smst.reserved_count == 1
+        smst.set_state(1, SMState.IDLE)
+        assert smst.idle_sms() == [0, 1, 2]
+        assert smst.reserved_count == 0
 
     def test_invalid_size_rejected(self):
         with pytest.raises(ValueError):

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.experiments.cli import EXPERIMENTS, build_parser, main, make_config
+from repro.experiments.cli import EXPERIMENTS, build_parser, format_listing, main, make_config
 
 
 def test_parser_knows_every_experiment():
@@ -15,7 +15,7 @@ def test_parser_knows_every_experiment():
     assert args.experiments == ["table1", "table2"]
     assert set(EXPERIMENTS) == {
         "table1", "table2", "figure2", "figure5", "figure6", "figure7", "figure8",
-        "synthetic", "preemption_latency", "mechanism_choice",
+        "synthetic", "preemption_latency", "mechanism_choice", "scale",
     }
 
 
@@ -227,3 +227,36 @@ def test_main_with_jobs_runs_parallel(capsys):
     )
     assert exit_code == 0
     assert "Figure 5" in capsys.readouterr().out
+
+
+def test_scale_experiment_is_registered():
+    assert "scale" in EXPERIMENTS
+    assert "scale" in format_listing()
+
+
+def test_main_profile_prints_stderr_line_and_keeps_stdout_identical(capsys):
+    exit_code = main(
+        ["synthetic", "--scale", "smoke", "--workloads", "2", "--seed", "7", "--profile"]
+    )
+    profiled = capsys.readouterr()
+    assert exit_code == 0
+    assert profiled.err.startswith("profile: wall ")
+    assert "events/s" in profiled.err
+    plain_code = main(
+        ["synthetic", "--scale", "smoke", "--workloads", "2", "--seed", "7"]
+    )
+    plain = capsys.readouterr()
+    assert plain_code == 0
+    assert plain.err == ""
+    # stdout is byte-identical with and without --profile.
+    assert profiled.out == plain.out
+
+
+def test_main_profile_composes_with_validate(capsys):
+    exit_code = main(
+        ["synthetic", "--scale", "smoke", "--workloads", "2", "--seed", "7",
+         "--profile", "--validate"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "profile: wall " in captured.err

@@ -1,0 +1,52 @@
+"""Tests for the ``scale`` experiment (large_gpu scaling sweep)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments import scale
+from repro.experiments.base import ExperimentConfig
+from repro.workloads.large_gpu import LARGE_GPU_SM_COUNTS
+
+
+def test_scale_experiment_reports_one_row_per_sm_count():
+    config = dataclasses.replace(ExperimentConfig.smoke(), validate=True)
+    result = scale.run(config)
+    assert [row[0] for row in result.rows] == sorted(LARGE_GPU_SM_COUNTS)
+    rows = result.row_dicts()
+    for row in rows:
+        assert row["Blocks"] > 0
+        assert row["Heap events"] > 0
+        assert row["Simulated (us)"] > 0
+        assert row["Events/s (block-eq)"] > 0
+        # Wave batching makes heap events a small fraction of the blocks.
+        assert row["Heap events"] < row["Blocks"]
+    # Work grows with the SM count.
+    blocks = [row["Blocks"] for row in rows]
+    assert blocks == sorted(blocks) and blocks[0] < blocks[-1]
+    # Validation observed every run and found nothing.
+    assert result.violation_count == 0
+    assert result.events_processed == sum(row["Heap events"] for row in rows)
+    records = result.series["records"]
+    assert len(records) == len(LARGE_GPU_SM_COUNTS)
+    for record in records:
+        assert record["scenario"]["validate"] is True
+        assert record["violations"] == []
+
+
+def test_scale_experiment_rows_are_deterministic_except_wall_clock():
+    config = ExperimentConfig.smoke()
+    first = scale.run(config)
+    second = scale.run(config)
+    deterministic = ["SMs", "Processes", "Blocks", "Heap events", "Simulated (us)"]
+    for row_a, row_b in zip(first.row_dicts(), second.row_dicts()):
+        for key in deterministic:
+            assert row_a[key] == row_b[key]
+
+
+def test_block_equivalent_events_identity():
+    """events - wave events + blocks == the per-block engine's event count."""
+    stats = {"block_completion_events": 30.0, "blocks_executed": 500.0}
+    assert scale.block_equivalent_events(100, stats) == 570
+    # Without wave stats (foreign engine) the raw count passes through.
+    assert scale.block_equivalent_events(100, {}) == 100

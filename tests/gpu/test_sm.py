@@ -134,3 +134,140 @@ class TestUtilization:
         simulator.run()
         # Busy 10 us out of 20 us total.
         assert sm.busy_fraction() == pytest.approx(0.5, abs=0.01)
+
+
+class TestWaveBatching:
+    def test_release_resets_shared_memory_config(self, sm, gpu_config):
+        configure(sm)
+        sm.shared_memory_config = 48 * 1024
+        sm.release()
+        assert sm.shared_memory_config == gpu_config.default_shared_memory_bytes
+
+    def test_same_completion_blocks_share_one_wave_event(self, sm, simulator):
+        configure(sm)
+        done = []
+        blocks = [make_block(i, 10.0) for i in range(3)]
+        sm.start_blocks([(b, 0.5) for b in blocks], on_complete=done.append)
+        # One aggregated heap event instead of three.
+        assert simulator.pending_events == 1
+        assert len({id(w) for w in sm._completions.values()}) == 1
+        simulator.run()
+        assert [b.block_index for b in done] == [0, 1, 2]
+        assert all(b.state is ThreadBlockState.COMPLETED for b in blocks)
+        assert sm.completion_waves_fired == 1
+
+    def test_heterogeneous_remainders_fall_back_to_per_block_events(self, sm, simulator):
+        configure(sm)
+        done = []
+        blocks = [make_block(0, 10.0), make_block(1, 12.0), make_block(2, 10.0)]
+        sm.start_blocks([(b, 0.5) for b in blocks], on_complete=done.append)
+        # Blocks 0 and 2 share an instant (one wave); block 1 is alone.
+        assert simulator.pending_events == 2
+        simulator.run()
+        assert [b.block_index for b in done] == [0, 2, 1]
+
+    def test_wave_batching_off_schedules_one_event_per_block(self, simulator, gpu_config):
+        import dataclasses
+
+        config = dataclasses.replace(gpu_config, wave_batching=False)
+        sm = StreamingMultiprocessor(0, config, simulator)
+        configure(sm)
+        blocks = [make_block(i, 10.0) for i in range(3)]
+        sm.start_blocks([(b, 0.5) for b in blocks], on_complete=lambda b: None)
+        assert simulator.pending_events == 3
+
+    def test_refills_join_the_pending_wave_across_calls(self, sm, simulator):
+        configure(sm)
+        done = []
+        sm.start_block(make_block(0, 10.0), extra_latency_us=0.0, on_complete=done.append)
+        assert simulator.pending_events == 1
+        # Scheduled immediately after with the same completion instant and no
+        # intervening event: joins instead of creating a second heap event.
+        sm.start_block(make_block(1, 10.0), extra_latency_us=0.0, on_complete=done.append)
+        assert simulator.pending_events == 1
+        # An intervening foreign event breaks sequence contiguity: no join.
+        simulator.schedule(999.0, lambda: None)
+        sm.start_block(make_block(2, 10.0), extra_latency_us=0.0, on_complete=done.append)
+        assert simulator.pending_events == 3
+        simulator.run(until=20.0)
+        assert [b.block_index for b in done] == [0, 1, 2]
+
+    def test_eviction_cancels_wave_only_when_all_owners_let_go(self, sm, simulator):
+        configure(sm)
+        blocks = [make_block(i, 10.0) for i in range(2)]
+        sm.start_blocks([(b, 0.0) for b in blocks], on_complete=lambda b: None)
+        assert simulator.pending_events == 1
+        evicted = sm.evict_all()
+        assert len(evicted) == 2
+        # The shared wave event is cancelled exactly once, with the SM empty.
+        assert simulator.pending_events == 0
+        assert simulator.events_cancelled == 1
+        simulator.run()
+        assert all(b.state is ThreadBlockState.PREEMPTED for b in blocks)
+
+    def test_reissued_block_is_not_completed_by_its_stale_wave(self, sm, simulator):
+        configure(sm)
+        done = []
+        block = make_block(0, 10.0)
+        sm.start_block(block, extra_latency_us=0.0, on_complete=done.append)
+        # Break joining so the re-issue gets its own (later) event.
+        simulator.schedule(999.0, lambda: None)
+        sm.evict_all()
+        block.remaining_time_us = 10.0
+        sm.start_block(block, extra_latency_us=5.0, on_complete=done.append)
+        simulator.run(until=12.0)
+        # The original instant passed without completing the block.
+        assert done == []
+        assert block.state is ThreadBlockState.RUNNING
+        simulator.run(until=20.0)
+        assert [b.block_index for b in done] == [0]
+        assert block.state is ThreadBlockState.COMPLETED
+
+    def test_cross_sm_waves_share_events_through_the_anchor(self, simulator, gpu_config):
+        from repro.gpu.sm import WaveAnchor
+
+        anchor = WaveAnchor()
+        sms = [
+            StreamingMultiprocessor(i, gpu_config, simulator, wave_anchor=anchor)
+            for i in range(2)
+        ]
+        for sm in sms:
+            configure(sm)
+        done = []
+        sms[0].start_block(make_block(0, 10.0), extra_latency_us=0.0, on_complete=done.append)
+        sms[1].start_block(make_block(1, 10.0), extra_latency_us=0.0, on_complete=done.append)
+        # Same instant, contiguous sequence numbers: one shared event.
+        assert simulator.pending_events == 1
+        # Evicting one SM must not cancel the other SM's completion.
+        assert len(sms[0].evict_all()) == 1
+        assert simulator.pending_events == 1
+        simulator.run()
+        assert [b.block_index for b in done] == [1]
+
+    def test_stale_wave_skips_block_reissued_under_a_new_event(self, simulator, gpu_config):
+        """Identity check: a still-live shared wave must not complete a block
+        that was evicted and re-issued under a newer completion event."""
+        from repro.gpu.sm import WaveAnchor
+
+        anchor = WaveAnchor()
+        sms = [
+            StreamingMultiprocessor(i, gpu_config, simulator, wave_anchor=anchor)
+            for i in range(2)
+        ]
+        for sm in sms:
+            configure(sm)
+        done = []
+        victim = make_block(0, 10.0)
+        sms[0].start_block(victim, extra_latency_us=0.0, on_complete=done.append)
+        sms[1].start_block(make_block(1, 10.0), extra_latency_us=0.0, on_complete=done.append)
+        assert simulator.pending_events == 1  # shared wave
+        sms[0].evict_all()  # wave stays live through SM1's block
+        simulator.schedule(999.0, lambda: None)  # break joining
+        victim.remaining_time_us = 10.0
+        sms[0].start_block(victim, extra_latency_us=5.0, on_complete=done.append)
+        simulator.run(until=12.0)
+        # At t=10 the stale wave completed only SM1's block.
+        assert [b.block_index for b in done] == [1]
+        assert victim.state is ThreadBlockState.RUNNING
+        simulator.run(until=20.0)
+        assert [b.block_index for b in done] == [1, 0]

@@ -221,7 +221,7 @@ def test_pending_events_matches_heap_scan(simulator):
     for handle in handles[::3]:
         handle.cancel()
     while True:
-        scan = sum(1 for event in simulator._heap if not event.cancelled)
+        scan = sum(1 for entry in simulator._heap if not entry[3].cancelled)
         assert simulator.pending_events == scan
         if not simulator.step():
             break
@@ -269,3 +269,61 @@ def test_events_scheduled_during_run_are_processed(simulator):
     simulator.run()
     assert fired == [0, 1, 2, 3, 4, 5]
     assert simulator.now == 5.0
+
+
+def test_peak_heap_entries_tracks_high_water_mark(simulator):
+    for index in range(5):
+        simulator.schedule(float(index + 1), lambda: None)
+    assert simulator.peak_heap_entries == 5
+    simulator.run()
+    # Draining the heap never lowers the recorded peak.
+    assert simulator.peak_heap_entries == 5
+
+
+def test_last_sequence_advances_with_each_schedule(simulator):
+    assert simulator.last_sequence == -1
+    first = simulator.schedule(1.0, lambda: None)
+    assert simulator.last_sequence == first.seq
+    second = simulator.schedule(2.0, lambda: None)
+    assert second.seq == first.seq + 1
+    assert simulator.last_sequence == second.seq
+
+
+def test_handle_pending_reflects_lifecycle(simulator):
+    fired = simulator.schedule(1.0, lambda: None)
+    cancelled = simulator.schedule(2.0, lambda: None)
+    assert fired.pending and cancelled.pending
+    cancelled.cancel()
+    assert not cancelled.pending
+    simulator.run()
+    assert not fired.pending
+    assert not fired.cancelled  # fired, not cancelled
+
+
+def test_dead_entry_compaction_bounds_the_heap():
+    simulator = Simulator()
+    handles = [simulator.schedule(1000.0 + i, lambda: None) for i in range(500)]
+    simulator.schedule(1.0, lambda: None)
+    for handle in handles:
+        handle.cancel()
+    # Far more dead entries than live ones: compaction must have dropped them
+    # without waiting for pops.
+    assert simulator.pending_events == 1
+    assert len(simulator._heap) < 100
+    fired = []
+    simulator.schedule(2.0, lambda: fired.append(True))
+    simulator.run()
+    assert fired == [True]
+    assert simulator.events_cancelled == 500
+
+
+def test_compaction_preserves_firing_order():
+    simulator = Simulator()
+    fired = []
+    keep = [simulator.schedule(10.0 + i, lambda i=i: fired.append(i)) for i in range(5)]
+    doomed = [simulator.schedule(5.0, lambda: fired.append("no")) for _ in range(200)]
+    for handle in doomed:
+        handle.cancel()
+    simulator.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert keep[0].cancelled is False

@@ -1,0 +1,109 @@
+"""Tests for the benchmark tooling: compare_bench and the results merger.
+
+``benchmarks/`` is not a package, so the scripts are loaded by path; these
+tests are the tier-1 coverage of the CI ``perf-smoke`` gate's pass/fail
+logic.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.utils.bench_results import merge_section
+
+_BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+
+
+def _load_script(name: str):
+    path = os.path.abspath(os.path.join(_BENCH_DIR, f"{name}.py"))
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def compare_bench():
+    return _load_script("compare_bench")
+
+
+def _bench_file(path, results, *, bare=False):
+    payload = {"schema": 1, "results": results}
+    document = payload if bare else {"scale_bench": payload}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return str(path)
+
+
+class TestCompareBench:
+    def test_ok_and_regression_detection(self, compare_bench, capsys):
+        baseline = {"a": {"events_per_sec": 100_000}, "b": {"events_per_sec": 100_000}}
+        candidate = {"a": {"events_per_sec": 90_000}, "b": {"events_per_sec": 60_000}}
+        regressions = compare_bench.compare(baseline, candidate, max_regression=0.25)
+        out = capsys.readouterr().out
+        assert regressions == 1
+        assert "[ok]" in out and "[REGRESSION]" in out
+
+    def test_disjoint_presets_raise_instead_of_counting_a_regression(self, compare_bench):
+        with pytest.raises(ValueError):
+            compare_bench.compare(
+                {"a": {"events_per_sec": 1}}, {"b": {"events_per_sec": 1}},
+                max_regression=0.25,
+            )
+
+    def test_main_exit_codes(self, compare_bench, tmp_path, capsys):
+        base = _bench_file(tmp_path / "base.json", {"a": {"events_per_sec": 100_000}})
+        good = _bench_file(tmp_path / "good.json", {"a": {"events_per_sec": 99_000}})
+        bad = _bench_file(tmp_path / "bad.json", {"a": {"events_per_sec": 10_000}})
+        disjoint = _bench_file(tmp_path / "dj.json", {"z": {"events_per_sec": 1}})
+        assert compare_bench.main([base, good]) == 0
+        assert compare_bench.main([base, bad]) == 1
+        assert compare_bench.main([base, disjoint]) == 2
+        err = capsys.readouterr().err
+        assert "share no presets" in err
+        assert "regressed" in err
+
+    def test_bare_payload_files_load(self, compare_bench, tmp_path):
+        bare = _bench_file(
+            tmp_path / "bare.json", {"a": {"events_per_sec": 5}}, bare=True
+        )
+        assert compare_bench.load_results(bare) == {"a": {"events_per_sec": 5}}
+
+    def test_files_without_results_are_rejected(self, compare_bench, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"unrelated": 1}))
+        with pytest.raises(ValueError):
+            compare_bench.load_results(str(path))
+
+
+class TestMergeSection:
+    def test_preserves_unrelated_sections(self, tmp_path):
+        path = str(tmp_path / "results.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"pre_refactor_reference": {"keep": True}}, handle)
+        merge_section(path, "scale_bench", {"schema": 1})
+        merge_section(path, "experiment_bench", {"schema": 1})
+        merge_section(path, "scale_bench", {"schema": 2})
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["pre_refactor_reference"] == {"keep": True}
+        assert document["experiment_bench"] == {"schema": 1}
+        assert document["scale_bench"] == {"schema": 2}
+
+    def test_replaces_non_object_documents(self, tmp_path):
+        path = str(tmp_path / "results.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json at all")
+        merge_section(path, "scale_bench", {"schema": 1})
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == {"scale_bench": {"schema": 1}}
+
+    def test_creates_missing_files(self, tmp_path):
+        path = str(tmp_path / "fresh.json")
+        merge_section(path, "scale_bench", {"ok": True})
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == {"scale_bench": {"ok": True}}

@@ -1,0 +1,93 @@
+"""Tests for the ``large_gpu`` scenario family and synthetic grid multipliers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import ScenarioSpec
+from repro.workloads.large_gpu import (
+    LARGE_GPU_SM_COUNTS,
+    generate_large_gpu_scenario,
+    generate_large_gpu_scenarios,
+    large_gpu_block_multiplier,
+    large_gpu_config_overrides,
+    large_gpu_process_count,
+)
+from repro.workloads.synthetic import (
+    build_synthetic_trace,
+    is_synthetic_app,
+    parse_synthetic_app,
+    synthetic_app_name,
+    synthetic_block_multiplier,
+)
+
+
+class TestMultiplierNames:
+    def test_multiplier_suffix_round_trips(self):
+        name = synthetic_app_name(42, 3, 128)
+        assert name == "syn-42-3-x128"
+        assert is_synthetic_app(name)
+        assert parse_synthetic_app(name) == (42, 3)
+        assert synthetic_block_multiplier(name) == 128
+
+    def test_plain_names_have_multiplier_one(self):
+        assert synthetic_app_name(42, 3) == "syn-42-3"
+        assert synthetic_block_multiplier("syn-42-3") == 1
+
+    def test_invalid_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_app_name(1, 1, 0)
+
+    def test_multiplied_trace_scales_kernel_grids(self):
+        base = build_synthetic_trace("syn-9-0")
+        big = build_synthetic_trace("syn-9-0-x8")
+        assert sorted(base.kernels) == sorted(big.kernels)
+        for name, small in base.kernels.items():
+            large = big.kernels[name]
+            assert large.num_thread_blocks == small.num_thread_blocks * 8
+            # Per-block times and footprints are untouched.
+            assert large.avg_tb_time_us == small.avg_tb_time_us
+            assert large.usage == small.usage
+
+
+class TestFamily:
+    def test_sweep_covers_the_default_sm_counts(self):
+        scenarios = generate_large_gpu_scenarios()
+        assert [s.config_overrides["gpu"]["num_sms"] for s in scenarios] == sorted(
+            LARGE_GPU_SM_COUNTS
+        )
+
+    def test_scenarios_are_deterministic_and_json_round_trippable(self):
+        first = generate_large_gpu_scenario(128)
+        second = generate_large_gpu_scenario(128)
+        assert first.to_json() == second.to_json()
+        assert ScenarioSpec.from_json(first.to_json()) == first
+
+    def test_workload_grows_proportionally_with_sm_count(self):
+        small = generate_large_gpu_scenario(8)
+        large = generate_large_gpu_scenario(128)
+        assert large.num_processes > small.num_processes
+        assert synthetic_block_multiplier(large.applications[0]) == (
+            large_gpu_block_multiplier(128)
+        )
+        assert large_gpu_process_count(128) == large.num_processes
+
+    def test_overrides_disable_jitter_and_scale_the_gpu(self):
+        overrides = large_gpu_config_overrides(32)
+        assert overrides["tb_time_cv"] == 0.0
+        assert overrides["gpu"]["num_sms"] == 32
+        spec = generate_large_gpu_scenario(32)
+        config = spec.system_config()
+        assert config.gpu.num_sms == 32
+        assert config.tb_time_cv == 0.0
+        assert config.gpu.wave_batching is True
+
+    def test_wave_batching_can_be_forced_off(self):
+        spec = generate_large_gpu_scenario(32, wave_batching=False)
+        assert spec.system_config().gpu.wave_batching is False
+
+    def test_invalid_sm_count_rejected(self):
+        with pytest.raises(ValueError):
+            large_gpu_config_overrides(0)
+        with pytest.raises(ValueError):
+            generate_large_gpu_scenarios(())
