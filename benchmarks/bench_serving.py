@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Serving benchmark: open-loop request throughput of the serving subsystem.
+
+Runs the :mod:`repro.experiments.serving` two-tenant open-loop scenario
+(bursty MMPP high-priority stream over a Poisson background) at one or more
+offered-load levels and records, per load:
+
+* wall-clock time of the serving run (best of ``--repeats``),
+* completed requests and requests/sec (the serving-layer headline number),
+* simulator events processed and events/sec (engine-level throughput),
+* admission counters (arrived/dropped) for context.
+
+Results are merged into ``BENCH_results.json`` (or ``--output``) under the
+``serving_bench`` key, preserving whatever else the file holds.
+``benchmarks/compare_bench.py`` gates the ``events_per_sec`` of every
+``serving_bench`` entry alongside the ``scale_bench`` presets; CI runs the
+``small`` preset against the committed ``benchmarks/BENCH_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py                # full sweep
+    PYTHONPATH=src python benchmarks/bench_serving.py --preset small # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+import time
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.serving import serving_scenario
+from repro.serving.driver import run_serving
+from repro.utils.bench_results import merge_section
+
+#: Preset name -> (workload scale, load levels benchmarked).  Smoke-scale
+#: serving runs finish in well under a second of wall time — too noisy for a
+#: 25% regression gate — so even the ``small`` preset uses the reduced scale.
+PRESETS: Dict[str, Tuple[str, Sequence[str]]] = {
+    "small": ("reduced", ("moderate", "heavy")),
+    "full": ("full", ("light", "moderate", "heavy")),
+}
+
+
+def bench_load(scale: str, load: str, *, repeats: int) -> Dict:
+    """Benchmark one load level; returns the per-entry result record."""
+    config = ExperimentConfig(scale=scale)
+    scenario = serving_scenario(config, load=load)
+    best_wall = float("inf")
+    outcome = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        outcome = run_serving(scenario)
+        best_wall = min(best_wall, time.perf_counter() - started)
+    summary = outcome.summary
+    completed = summary["completed"]
+    events = outcome.events_processed
+    return {
+        "scale": scale,
+        "load": load,
+        "wall_s": round(best_wall, 4),
+        "requests_completed": completed,
+        "requests_per_sec": round(completed / best_wall) if best_wall else 0,
+        "events_processed": events,
+        "events_per_sec": round(events / best_wall) if best_wall else 0,
+        "arrived": summary["queue"]["arrived"],
+        "dropped": summary["queue"]["dropped"],
+        "simulated_us": summary["simulated_time_us"],
+    }
+
+
+def run_benchmark(preset: str, *, repeats: int) -> Dict:
+    """Run every load of ``preset`` and build the ``serving_bench`` payload."""
+    scale, loads = PRESETS[preset]
+    results = {}
+    for load in loads:
+        key = f"serving_{load}"
+        results[key] = bench_load(scale, load, repeats=repeats)
+        r = results[key]
+        print(
+            f"{key}: wall {r['wall_s']} s, {r['requests_completed']} requests, "
+            f"{r['requests_per_sec']:,} requests/s, {r['events_processed']} events, "
+            f"{r['events_per_sec']:,} events/s",
+            file=sys.stderr,
+        )
+    return {
+        "schema": 1,
+        "preset": preset,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "metric": (
+            "requests_per_sec counts completed open-loop requests per "
+            "wall-clock second; events_per_sec counts raw simulator events"
+        ),
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="full", help="load sweep to run"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions per load (best wins)"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.environ.get("BENCH_RESULTS_PATH", "BENCH_results.json"),
+        help="results file to merge into (default: BENCH_results.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(args.preset, repeats=args.repeats)
+    merge_section(args.output, "serving_bench", payload)
+    print(f"serving_bench ({args.preset}) -> {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,17 @@
 #!/usr/bin/env python
-"""Compare two ``bench_scale`` result files and fail on throughput regressions.
+"""Compare two benchmark result files and fail on throughput regressions.
 
-Reads the ``scale_bench`` section of a baseline and a candidate
-``BENCH_results.json`` (either the merged file or a bare ``scale_bench``
-payload) and compares ``events_per_sec`` per preset.  Exits non-zero when any
-preset present in both files regresses by more than ``--max-regression``
+Reads the ``scale_bench`` and ``serving_bench`` sections of a baseline and a
+candidate ``BENCH_results.json`` (either the merged file or a bare section
+payload) and compares ``events_per_sec`` per entry.  Exits non-zero when any
+entry present in both files regresses by more than ``--max-regression``
 (default 25%).  CI runs this against the committed
-``benchmarks/BENCH_baseline.json``; refresh that baseline by copying a fresh
-``bench_scale`` run when the hardware or an intentional trade-off changes the
-numbers::
+``benchmarks/BENCH_baseline.json``; refresh that baseline by copying fresh
+``bench_scale``/``bench_serving`` runs when the hardware or an intentional
+trade-off changes the numbers::
 
     PYTHONPATH=src python benchmarks/bench_scale.py --preset small --output /tmp/new.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --preset small --output /tmp/new.json
     PYTHONPATH=src python benchmarks/compare_bench.py benchmarks/BENCH_baseline.json /tmp/new.json
 """
 
@@ -22,16 +23,32 @@ import sys
 from typing import Dict
 
 
+#: Gated sections of a merged ``BENCH_results.json`` document.
+SECTIONS = ("scale_bench", "serving_bench")
+
+
 def load_results(path: str) -> Dict[str, Dict]:
-    """Per-preset results of a bench file (merged document or bare payload)."""
+    """Per-entry results of a bench file (merged document or bare payload).
+
+    Entries from every gated section are pooled into one mapping (the entry
+    keys — ``large_gpu_*``, ``serving_*`` — are disjoint by construction).
+    """
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     if not isinstance(document, dict):
         raise ValueError(f"{path}: expected a JSON object")
-    payload = document.get("scale_bench", document)
-    results = payload.get("results")
-    if not isinstance(results, dict) or not results:
-        raise ValueError(f"{path}: no scale_bench results found")
+    results: Dict[str, Dict] = {}
+    for section in SECTIONS:
+        payload = document.get(section)
+        if isinstance(payload, dict) and isinstance(payload.get("results"), dict):
+            results.update(payload["results"])
+    if not results and isinstance(document.get("results"), dict):
+        # A bare section payload (e.g. bench_scale --output to a fresh file).
+        results = document["results"]
+    if not results:
+        raise ValueError(
+            f"{path}: no {' / '.join(SECTIONS)} results found"
+        )
     return results
 
 

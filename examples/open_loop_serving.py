@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Open-loop serving: a bursty tenant and a background tenant share a GPU.
+
+A high-priority tenant sends bursty request trains (MMPP on-off arrivals)
+while a background tenant submits a steady Poisson stream.  Both are open
+loop — requests keep arriving whether or not the GPU keeps up — so queueing,
+drops and tail latency emerge from the offered load rather than from a fixed
+batch of work.  The example runs the same two-tenant scenario under three
+offered loads and prints the admission counters, the streaming latency
+quantiles (P² estimator, warmup discarded), and the per-tenant SLO
+violations against a shared latency budget.
+
+Run with:  PYTHONPATH=src python examples/open_loop_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.scenario import ScenarioSpec, SchemeSpec
+from repro.serving import run_serving
+
+#: Offered loads: mean interarrival gaps (µs) for the bursty high-priority
+#: tenant and the Poisson background tenant.
+LOADS = {
+    "light": (800.0, 1200.0),
+    "moderate": (300.0, 450.0),
+    "heavy": (55.0, 85.0),
+}
+
+HORIZON_US = 30_000.0
+SLO_BUDGET_US = 250.0
+
+
+def make_scenario(hp_mean: float, bg_mean: float) -> ScenarioSpec:
+    return ScenarioSpec(
+        scheme=SchemeSpec(
+            name="ppq_cs",
+            policy="ppq",
+            mechanism="context_switch",
+            transfer_policy="npq",
+        ),
+        applications=("syn-11-0", "syn-11-1"),
+        high_priority_index=0,  # tenant 0 preempts the background tenant
+        scale="smoke",
+        arrivals={
+            "horizon_us": HORIZON_US,
+            "warmup_us": HORIZON_US / 8.0,
+            "window_us": HORIZON_US / 4.0,
+            "queue_capacity": 16,
+            "admission": "drop",
+            "max_inflight": 4,
+            "tenants": [
+                {
+                    "process": "mmpp",  # bursty on-off request trains
+                    "seed": 1,
+                    "mean_interarrival_us": hp_mean,
+                    "burstiness": 8.0,
+                },
+                {
+                    "process": "poisson",  # steady background stream
+                    "seed": 2,
+                    "mean_interarrival_us": bg_mean,
+                },
+            ],
+        },
+        slo={"default": SLO_BUDGET_US},
+    )
+
+
+def main() -> None:
+    print("Two open-loop tenants sharing one GPU (PPQ + context switch)")
+    print(f"SLO budget: {SLO_BUDGET_US:.0f} us per request, warmup discarded")
+    print("=" * 78)
+    header = (
+        f"{'load':<10}{'tenant':<14}{'arrived':>8}{'dropped':>8}"
+        f"{'p50 us':>9}{'p99 us':>9}{'SLO viol':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for load, (hp_mean, bg_mean) in LOADS.items():
+        summary = run_serving(make_scenario(hp_mean, bg_mean)).summary
+        queue = summary["queue"]
+        latency = summary["latency_us"]
+        print(
+            f"{load:<10}{'all':<14}{queue['arrived']:>8}{queue['dropped']:>8}"
+            f"{latency['p50']:>9.1f}{latency['p99']:>9.1f}"
+            f"{summary['slo_violations_total']:>9}"
+        )
+        for tenant, tenant_summary in summary["tenants"].items():
+            tenant_latency = tenant_summary["latency_us"]
+            print(
+                f"{'':<10}{tenant:<14}"
+                f"{queue['per_tenant_arrived'].get(tenant, 0):>8}"
+                f"{queue['per_tenant_dropped'].get(tenant, 0):>8}"
+                f"{tenant_latency['p50']:>9.1f}{tenant_latency['p99']:>9.1f}"
+                f"{tenant_summary['slo_violations']:>9}"
+            )
+    print()
+    print(
+        "Tenant #0 (bursty, high priority) keeps tight tails by preempting\n"
+        "tenant #1; under heavy load the bounded admission queue sheds the\n"
+        "overflow as drops instead of letting latency grow without bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -38,8 +38,16 @@ from repro.experiments import figure2, figure5, figure6, figure7, figure8, table
 from repro.experiments import preemption_latency, synthetic
 from repro.experiments import mechanism_choice
 from repro.experiments import scale as scale_experiment
+from repro.experiments import serving as serving_experiment
+from repro.experiments import slo_preemption
 from repro.experiments.base import ExperimentConfig, ExperimentResult
-from repro.registry import CONTROLLERS, MECHANISMS, POLICIES, TRANSFER_POLICIES
+from repro.registry import (
+    ARRIVALS,
+    CONTROLLERS,
+    MECHANISMS,
+    POLICIES,
+    TRANSFER_POLICIES,
+)
 
 #: Experiment name -> runner.  Runners that share simulation data accept it
 #: through keyword arguments; the CLI wires that up in :func:`run_selected`.
@@ -55,6 +63,8 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "preemption_latency": preemption_latency.run,
     "mechanism_choice": mechanism_choice.run,
     "scale": scale_experiment.run,
+    "serving": serving_experiment.run,
+    "slo_preemption": slo_preemption.run,
 }
 
 
@@ -253,6 +263,7 @@ def format_listing() -> str:
         ("Preemption mechanisms", MECHANISMS),
         ("Preemption controllers", CONTROLLERS),
         ("Transfer scheduling policies", TRANSFER_POLICIES),
+        ("Arrival processes", ARRIVALS),
     ):
         lines.append("")
         lines.append(f"{title}:")

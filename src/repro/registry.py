@@ -1,6 +1,6 @@
 """Component registries for the pluggable parts of the simulated system.
 
-Four registries replace the old hard-coded ``make_policy`` /
+Five registries replace the old hard-coded ``make_policy`` /
 ``make_mechanism`` string factories:
 
 * :data:`POLICIES` — scheduling policies (``fcfs``, ``npq``, ``ppq``,
@@ -10,7 +10,9 @@ Four registries replace the old hard-coded ``make_policy`` /
 * :data:`CONTROLLERS` — preemption controllers, consulted per preemption
   request to pick the mechanism (``static``, ``hybrid``, ``adaptive``),
 * :data:`TRANSFER_POLICIES` — data-transfer engine scheduling policies
-  (``fcfs``, ``npq``).
+  (``fcfs``, ``npq``),
+* :data:`ARRIVALS` — open-loop request arrival processes for the serving
+  layer (``poisson``, ``mmpp``, ``lognormal``, ``pareto``, ``replay``).
 
 The built-in components register themselves with the
 :func:`register_policy` / :func:`register_mechanism` /
@@ -231,12 +233,17 @@ def _load_builtin_transfer_policies() -> None:
     import repro.memory.transfer_engine  # noqa: F401
 
 
+def _load_builtin_arrivals() -> None:
+    import repro.serving.arrivals  # noqa: F401
+
+
 POLICIES = ComponentRegistry("scheduling policy", _load_builtin_policies)
 MECHANISMS = ComponentRegistry("preemption mechanism", _load_builtin_mechanisms)
 CONTROLLERS = ComponentRegistry("preemption controller", _load_builtin_controllers)
 TRANSFER_POLICIES = ComponentRegistry(
     "transfer scheduling policy", _load_builtin_transfer_policies
 )
+ARRIVALS = ComponentRegistry("arrival process", _load_builtin_arrivals)
 
 
 def register_policy(name: str, *aliases: str, **kwargs):
@@ -259,6 +266,11 @@ def register_transfer_policy(name: str, *aliases: str, **kwargs):
     return TRANSFER_POLICIES.register(name, *aliases, **kwargs)
 
 
+def register_arrival(name: str, *aliases: str, **kwargs):
+    """Register an open-loop arrival process (decorator)."""
+    return ARRIVALS.register(name, *aliases, **kwargs)
+
+
 __all__ = [
     "ComponentRegistry",
     "RegistryEntry",
@@ -268,8 +280,10 @@ __all__ = [
     "MECHANISMS",
     "CONTROLLERS",
     "TRANSFER_POLICIES",
+    "ARRIVALS",
     "register_policy",
     "register_mechanism",
     "register_controller",
     "register_transfer_policy",
+    "register_arrival",
 ]

@@ -75,6 +75,7 @@ class RunRecord:
             "scenario": self.scenario.to_dict(),
             "scheme": self.scenario.scheme.label,
             "trace": self.result.trace_summary,
+            "serving": self.result.serving_summary,
             "process_times_us": dict(self.result.process_times_us),
             "process_applications": dict(self.result.process_applications),
             "metrics": {

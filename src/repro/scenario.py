@@ -292,6 +292,15 @@ class ScenarioSpec:
     #: and without tracing; the trace summary (and exported artifact paths)
     #: are surfaced through :class:`repro.runner.RunRecord`.
     trace: bool = False
+    #: Open-loop serving configuration (``None`` = classic closed-loop run).
+    #: A mapping with ``horizon_us`` plus optional admission/tenant settings;
+    #: see :class:`repro.serving.ServingSpec` for the accepted keys.  When
+    #: set, the scenario runs through :func:`repro.serving.run_serving`
+    #: instead of replaying processes to a minimum iteration count.
+    arrivals: Optional[Mapping[str, Any]] = None
+    #: Per-tenant latency budgets (µs) for SLO-violation counting: keys are
+    #: process names (``app#slot``), application names or ``"default"``.
+    slo: Optional[Mapping[str, Any]] = None
 
     __hash__ = None  # type: ignore[assignment]
 
@@ -312,6 +321,12 @@ class ScenarioSpec:
         object.__setattr__(
             self, "config_overrides", _canonicalize(dict(self.config_overrides))
         )
+        if self.arrivals is not None:
+            object.__setattr__(self, "arrivals", _canonicalize(dict(self.arrivals)))
+        if self.slo is not None:
+            object.__setattr__(self, "slo", _canonicalize(dict(self.slo)))
+        if self.slo is not None and self.arrivals is None:
+            raise ValueError("slo= budgets require an arrivals= section")
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -391,6 +406,8 @@ class ScenarioSpec:
             "normal_priority": self.normal_priority,
             "validate": self.validate,
             "trace": self.trace,
+            "arrivals": None if self.arrivals is None else dict(self.arrivals),
+            "slo": None if self.slo is None else dict(self.slo),
         }
 
     @classmethod

@@ -1,0 +1,32 @@
+"""Open-loop serving layer: arrivals, admission, streaming SLO metrics.
+
+See :mod:`repro.serving.driver` for the execution model and the
+checkpoint/resume semantics.
+"""
+
+from repro.serving.arrivals import ArrivalProcess, make_arrival_process
+from repro.serving.driver import (
+    ServingDriver,
+    ServingOutcome,
+    ServingSpec,
+    TenantSpec,
+    run_serving,
+)
+from repro.serving.metrics import P2Quantile, ReservoirSampler, ServingMetrics
+from repro.serving.queue import IngressQueue, QueueCounters, Request
+
+__all__ = [
+    "ArrivalProcess",
+    "make_arrival_process",
+    "ServingDriver",
+    "ServingOutcome",
+    "ServingSpec",
+    "TenantSpec",
+    "run_serving",
+    "P2Quantile",
+    "ReservoirSampler",
+    "ServingMetrics",
+    "IngressQueue",
+    "QueueCounters",
+    "Request",
+]

@@ -1,0 +1,190 @@
+"""Admission/ingress queue of the open-loop serving layer.
+
+Requests arrive from :mod:`repro.serving.arrivals` streams and wait here
+until the :class:`~repro.serving.driver.ServingDriver` has a launch slot.
+The queue is bounded with a pluggable admission policy:
+
+* ``drop`` — a request arriving at a full queue is dropped (tail drop),
+* ``drop_oldest`` — the oldest queued request is evicted to admit the new
+  one (head drop; favours fresh work under overload),
+* ``block`` — the queue grows beyond capacity, but every over-capacity
+  admission is counted as a backpressure event (open-loop sources cannot be
+  slowed down, so "blocking" manifests as measured pressure, not lost work).
+
+Dispatch order is by tenant priority (higher first), FIFO within a priority
+— the same ordering contract as the GPU scheduling policies the priorities
+map onto.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Admission policies accepted by :class:`IngressQueue`.
+ADMISSION_POLICIES = ("drop", "drop_oldest", "block")
+
+
+@dataclass
+class Request:
+    """One open-loop request: a kernel launch on behalf of a tenant."""
+
+    #: Dense run-wide id (stable across checkpoint/resume segments).
+    request_id: int
+    #: Tenant (process) name the request belongs to.
+    tenant: str
+    #: Name of the kernel the request launches (from the tenant's trace).
+    kernel: str
+    #: Scheduling priority (mapped onto the GPU scheduling policy).
+    priority: int
+    #: True arrival time (µs); may precede the current segment's clock for
+    #: requests carried across a checkpoint boundary.
+    arrival_us: float
+    #: Launch (admission to the GPU) time; ``None`` while queued.
+    admit_us: Optional[float] = None
+    #: Completion time; ``None`` until the kernel finishes.
+    complete_us: Optional[float] = None
+    #: Per-tenant request index (the arrival stream cursor that produced it).
+    tenant_index: int = 0
+
+    @property
+    def latency_us(self) -> float:
+        """Sojourn time (completion − arrival); requires completion."""
+        if self.complete_us is None:
+            raise ValueError("request has not completed")
+        return self.complete_us - self.arrival_us
+
+
+@dataclass
+class QueueCounters:
+    """Admission bookkeeping, serialized into checkpoints and summaries."""
+
+    arrived: int = 0
+    admitted: int = 0
+    dropped: int = 0
+    backpressure_events: int = 0
+    peak_depth: int = 0
+    per_tenant_arrived: Dict[str, int] = field(default_factory=dict)
+    per_tenant_admitted: Dict[str, int] = field(default_factory=dict)
+    per_tenant_dropped: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "arrived": self.arrived,
+            "admitted": self.admitted,
+            "dropped": self.dropped,
+            "backpressure_events": self.backpressure_events,
+            "peak_depth": self.peak_depth,
+            "per_tenant_arrived": dict(sorted(self.per_tenant_arrived.items())),
+            "per_tenant_admitted": dict(sorted(self.per_tenant_admitted.items())),
+            "per_tenant_dropped": dict(sorted(self.per_tenant_dropped.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "QueueCounters":
+        """Rebuild counters from :meth:`to_dict` output."""
+        return cls(
+            arrived=int(payload["arrived"]),
+            admitted=int(payload["admitted"]),
+            dropped=int(payload["dropped"]),
+            backpressure_events=int(payload["backpressure_events"]),
+            peak_depth=int(payload["peak_depth"]),
+            per_tenant_arrived=dict(payload["per_tenant_arrived"]),
+            per_tenant_admitted=dict(payload["per_tenant_admitted"]),
+            per_tenant_dropped=dict(payload["per_tenant_dropped"]),
+        )
+
+
+class IngressQueue:
+    """Bounded, priority-ordered admission queue with drop accounting."""
+
+    def __init__(self, *, capacity: int = 64, admission: str = "drop"):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r} "
+                f"(choose from {', '.join(ADMISSION_POLICIES)})"
+            )
+        self.capacity = int(capacity)
+        self.admission = admission
+        self.counters = QueueCounters()
+        #: Heap of (-priority, enqueue seq, request): priority then FIFO.
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def offer(self, request: Request) -> Optional[Request]:
+        """Offer an arriving request; returns the *dropped* request, if any.
+
+        Under ``drop`` a full queue rejects the offered request itself;
+        under ``drop_oldest`` the lowest-priority, oldest queued request is
+        evicted instead; under ``block`` nothing is ever dropped but
+        over-capacity admissions bump the backpressure counter.
+        """
+        counters = self.counters
+        counters.arrived += 1
+        counters.per_tenant_arrived[request.tenant] = (
+            counters.per_tenant_arrived.get(request.tenant, 0) + 1
+        )
+        dropped: Optional[Request] = None
+        if len(self._heap) >= self.capacity:
+            if self.admission == "drop":
+                dropped = request
+            elif self.admission == "drop_oldest":
+                dropped = self._evict_oldest()
+            else:  # block
+                counters.backpressure_events += 1
+        if dropped is not request:
+            heapq.heappush(self._heap, (-request.priority, self._seq, request))
+            self._seq += 1
+            counters.peak_depth = max(counters.peak_depth, len(self._heap))
+        if dropped is not None:
+            counters.dropped += 1
+            counters.per_tenant_dropped[dropped.tenant] = (
+                counters.per_tenant_dropped.get(dropped.tenant, 0) + 1
+            )
+        return dropped
+
+    def _evict_oldest(self) -> Request:
+        """Evict the victim under ``drop_oldest``: worst priority, oldest."""
+        victim_pos = max(
+            range(len(self._heap)),
+            key=lambda pos: (self._heap[pos][0], -self._heap[pos][1]),
+        )
+        victim = self._heap[victim_pos][2]
+        self._heap[victim_pos] = self._heap[-1]
+        self._heap.pop()
+        heapq.heapify(self._heap)
+        return victim
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def pop(self) -> Optional[Request]:
+        """Next request to launch (highest priority, FIFO within)."""
+        if not self._heap:
+            return None
+        request = heapq.heappop(self._heap)[2]
+        self.counters.admitted += 1
+        self.counters.per_tenant_admitted[request.tenant] = (
+            self.counters.per_tenant_admitted.get(request.tenant, 0) + 1
+        )
+        return request
+
+    def drain(self) -> List[Request]:
+        """Remove and return every queued request, in dispatch order."""
+        out = []
+        while self._heap:
+            out.append(heapq.heappop(self._heap)[2])
+        return out
+
+
+__all__ = ["IngressQueue", "Request", "QueueCounters", "ADMISSION_POLICIES"]

@@ -92,6 +92,19 @@ class BaseObserver:
     def on_cpu_phase_finished(self, label) -> None:
         """A CPU phase finished and freed its hardware thread."""
 
+    # -- open-loop serving ----------------------------------------------
+    def on_request_arrived(self, request, now) -> None:
+        """An open-loop request arrived at the ingress queue."""
+
+    def on_request_admitted(self, request, now) -> None:
+        """A queued request was admitted and its kernel launched."""
+
+    def on_request_completed(self, request, now) -> None:
+        """An admitted request's kernel completed."""
+
+    def on_request_dropped(self, request, now) -> None:
+        """A request was dropped by the admission policy."""
+
 
 class CompositeObserver(BaseObserver):
     """Forwards every hook to each of its child observers, in order."""
@@ -161,6 +174,22 @@ class CompositeObserver(BaseObserver):
     def on_cpu_phase_finished(self, label) -> None:
         for observer in self._observers:
             observer.on_cpu_phase_finished(label)
+
+    def on_request_arrived(self, request, now) -> None:
+        for observer in self._observers:
+            observer.on_request_arrived(request, now)
+
+    def on_request_admitted(self, request, now) -> None:
+        for observer in self._observers:
+            observer.on_request_admitted(request, now)
+
+    def on_request_completed(self, request, now) -> None:
+        for observer in self._observers:
+            observer.on_request_completed(request, now)
+
+    def on_request_dropped(self, request, now) -> None:
+        for observer in self._observers:
+            observer.on_request_dropped(request, now)
 
 
 __all__ = ["BaseObserver", "CompositeObserver"]

@@ -54,9 +54,12 @@ class GPUSystem:
         policy_options: Optional[Dict] = None,
         validate: bool = False,
         trace: bool = False,
+        start_time_us: float = 0.0,
     ):
         self.config = config if config is not None else SystemConfig()
-        self.simulator = Simulator()
+        #: ``start_time_us`` lets a resumed serving segment continue the
+        #: simulated clock of the segment it was checkpointed from.
+        self.simulator = Simulator(start_time=start_time_us)
 
         if isinstance(policy, str):
             policy = make_policy(policy, **(policy_options or {}))
@@ -102,6 +105,9 @@ class GPUSystem:
         )
         self.processes: List[HostProcess] = []
         self._process_index: Dict[str, HostProcess] = {}
+        #: Open-loop serving driver, when one is attached (see
+        #: :class:`repro.serving.ServingDriver`); observed like any component.
+        self.serving = None
         #: Minimum completed iterations per process before :meth:`run` with
         #: ``stop_after_min_iterations`` halts the simulation.
         self._min_iterations: Optional[int] = None
@@ -170,6 +176,8 @@ class GPUSystem:
             sm.observer = target
         self.dispatcher.observer = target
         self.cpu.observer = target
+        if self.serving is not None:
+            self.serving.observer = target
 
     # ------------------------------------------------------------------
     # Declarative construction

@@ -223,6 +223,43 @@ class TraceCollector(BaseObserver):
         self._emit(ev.CPU_PHASE_END, label=label)
 
     # ------------------------------------------------------------------
+    # Open-loop serving hooks (request lifecycle)
+    # ------------------------------------------------------------------
+    def on_request_arrived(self, request, now) -> None:
+        self._emit(
+            ev.REQUEST_ARRIVAL,
+            request=request.request_id,
+            tenant=request.tenant,
+            kernel=request.kernel,
+            priority=request.priority,
+            arrival_us=request.arrival_us,
+        )
+
+    def on_request_admitted(self, request, now) -> None:
+        self._emit(
+            ev.REQUEST_ADMIT,
+            request=request.request_id,
+            tenant=request.tenant,
+            queue_delay_us=now - request.arrival_us,
+        )
+
+    def on_request_completed(self, request, now) -> None:
+        self._emit(
+            ev.REQUEST_COMPLETE,
+            request=request.request_id,
+            tenant=request.tenant,
+            latency_us=now - request.arrival_us,
+            service_us=now - request.admit_us,
+        )
+
+    def on_request_dropped(self, request, now) -> None:
+        self._emit(
+            ev.REQUEST_DROP,
+            request=request.request_id,
+            tenant=request.tenant,
+        )
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:

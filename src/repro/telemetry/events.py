@@ -56,6 +56,13 @@ CPU_PHASE_END = "cpu_phase_end"
 SM_CONFIGURED = "sm_configured"
 SM_RELEASED = "sm_released"
 
+#: Open-loop serving request lifecycle (arrival → admission → completion,
+#: or drop at admission).
+REQUEST_ARRIVAL = "request_arrival"
+REQUEST_ADMIT = "request_admit"
+REQUEST_COMPLETE = "request_complete"
+REQUEST_DROP = "request_drop"
+
 #: Every kind, in a stable documentation order.
 KINDS = (
     KERNEL_ENQUEUE,
@@ -75,6 +82,10 @@ KINDS = (
     CPU_PHASE_END,
     SM_CONFIGURED,
     SM_RELEASED,
+    REQUEST_ARRIVAL,
+    REQUEST_ADMIT,
+    REQUEST_COMPLETE,
+    REQUEST_DROP,
 )
 
 
@@ -129,4 +140,8 @@ __all__ = [
     "CPU_PHASE_END",
     "SM_CONFIGURED",
     "SM_RELEASED",
+    "REQUEST_ARRIVAL",
+    "REQUEST_ADMIT",
+    "REQUEST_COMPLETE",
+    "REQUEST_DROP",
 ]

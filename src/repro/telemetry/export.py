@@ -34,6 +34,10 @@ _INSTANT_KINDS = {
     ev.KERNEL_ENQUEUE,
     ev.SM_CONFIGURED,
     ev.SM_RELEASED,
+    ev.REQUEST_ARRIVAL,
+    ev.REQUEST_ADMIT,
+    ev.REQUEST_COMPLETE,
+    ev.REQUEST_DROP,
 }
 
 _CATEGORY_PID = {"block": "GPU", "preemption": "GPU", "transfer": "Host", "cpu": "Host"}

@@ -187,6 +187,19 @@ class InvariantChecker:
     def on_cpu_phase_finished(self, label: str) -> None:
         """A CPU phase finished and freed its hardware thread."""
 
+    # -- open-loop serving ----------------------------------------------
+    def on_request_arrived(self, request, now) -> None:
+        """An open-loop request arrived at the ingress queue."""
+
+    def on_request_admitted(self, request, now) -> None:
+        """A queued request was admitted and its kernel launched."""
+
+    def on_request_completed(self, request, now) -> None:
+        """An admitted request's kernel completed."""
+
+    def on_request_dropped(self, request, now) -> None:
+        """A request was dropped by the admission policy."""
+
 
 class ValidationHub:
     """Fans instrumentation hooks out to a set of invariant checkers.
@@ -350,3 +363,19 @@ class ValidationHub:
     def on_cpu_phase_finished(self, label) -> None:
         for checker in self._checkers:
             checker.on_cpu_phase_finished(label)
+
+    def on_request_arrived(self, request, now) -> None:
+        for checker in self._checkers:
+            checker.on_request_arrived(request, now)
+
+    def on_request_admitted(self, request, now) -> None:
+        for checker in self._checkers:
+            checker.on_request_admitted(request, now)
+
+    def on_request_completed(self, request, now) -> None:
+        for checker in self._checkers:
+            checker.on_request_completed(request, now)
+
+    def on_request_dropped(self, request, now) -> None:
+        for checker in self._checkers:
+            checker.on_request_dropped(request, now)

@@ -222,6 +222,10 @@ class WorkloadResult:
     #: per-mechanism preemption-latency samples and stats, queueing stats and
     #: exported artifact paths.  ``None`` unless the scenario enabled tracing.
     trace_summary: Optional[Dict] = None
+    #: Open-loop serving summary (admission counters, streaming latency
+    #: quantiles, SLO violations; see :meth:`repro.serving.ServingDriver.summary`).
+    #: ``None`` for classic closed-loop scenarios.
+    serving_summary: Optional[Dict] = None
 
     @property
     def high_priority_process(self) -> Optional[str]:
@@ -354,6 +358,8 @@ class WorkloadRunner:
             raise ValueError(
                 "scenario config_overrides do not match this runner's configuration"
             )
+        if scenario.arrivals is not None:
+            return self._run_serving_scenario(scenario, trace_path=trace_path)
         system = GPUSystem.from_scenario(scenario, config=self.config, suite=self.suite)
         iterations = (
             scenario.min_iterations
@@ -406,6 +412,56 @@ class WorkloadRunner:
             validated=system.validation is not None,
             violations=system.violations(),
             trace_summary=trace_summary,
+        )
+
+    def _run_serving_scenario(
+        self, scenario: ScenarioSpec, *, trace_path: Optional[str] = None
+    ) -> WorkloadResult:
+        """Run an open-loop (``arrivals=``) scenario through the serving layer.
+
+        Closed-loop iteration metrics (NTT/ANTT/STP) do not apply to an
+        open-loop run — request-latency quantiles, windowed throughput/ANTT
+        and SLO counters live in :attr:`WorkloadResult.serving_summary`.
+        """
+        from repro.serving import run_serving  # local: avoids cycle
+
+        outcome = run_serving(scenario, config=self.config, suite=self.suite)
+        spec = WorkloadSpec(
+            applications=scenario.applications,
+            high_priority_index=scenario.high_priority_index,
+            workload_id=scenario.workload_id,
+        )
+        process_applications = dict(zip(spec.process_names(), spec.applications))
+        trace_summary = None
+        if scenario.trace:
+            from repro.telemetry.analytics import summarize  # local: keeps import cheap
+            from repro.telemetry.export import write_chrome_trace
+
+            artifacts = []
+            if trace_path is not None:
+                write_chrome_trace(
+                    outcome.trace_events, trace_path, end_us=outcome.simulated_time_us
+                )
+                artifacts.append(trace_path)
+            trace_summary = summarize(
+                outcome.trace_events,
+                now_us=outcome.simulated_time_us,
+                artifacts=artifacts,
+            )
+        return WorkloadResult(
+            spec=spec,
+            policy=scenario.scheme.policy,
+            mechanism=scenario.scheme.mechanism,
+            process_times_us={},
+            process_applications=process_applications,
+            metrics=MultiprogramMetrics(ntt={}, antt=0.0, stp=0.0, fairness=0.0),
+            engine_stats=outcome.engine_stats,
+            simulated_time_us=outcome.simulated_time_us,
+            events_processed=outcome.events_processed,
+            validated=outcome.validated,
+            violations=outcome.violations,
+            trace_summary=trace_summary,
+            serving_summary=outcome.summary,
         )
 
     # ------------------------------------------------------------------

@@ -315,6 +315,47 @@ def generate_synthetic_scheme(seed: int) -> SchemeSpec:
     )
 
 
+#: Arrival-process kinds sampled by the open-loop fuzzer dimension.
+ARRIVAL_KINDS = ("poisson", "mmpp", "lognormal", "pareto")
+
+#: Admission policies sampled by the open-loop fuzzer dimension.
+ARRIVAL_ADMISSIONS = ("drop", "drop_oldest", "block")
+
+
+def generate_synthetic_arrivals(seed: int, num_processes: int) -> tuple:
+    """Derive an ``(arrivals, slo)`` pair for an open-loop scenario.
+
+    Every draw is key-addressed under fresh ``ol_*`` keys, so enabling the
+    open-loop dimension never disturbs the closed-loop draws of the same
+    seed (existing goldens stay byte-identical).
+    """
+    horizon_us = round(6_000.0 + _u(seed, "ol_horizon") * 9_000.0, 3)
+    tenants = []
+    for i in range(num_processes):
+        kind = _pick(ARRIVAL_KINDS, seed, "ol_kind", i)
+        tenant = {
+            "process": kind,
+            "seed": _int_between(0, 9_999, seed, "ol_seed", i),
+            "mean_interarrival_us": round(150.0 + _u(seed, "ol_mean", i) * 600.0, 3),
+        }
+        if kind == "mmpp":
+            tenant["burstiness"] = round(2.0 + _u(seed, "ol_burst", i) * 10.0, 3)
+        tenants.append(tenant)
+    if _u(seed, "ol_slo_hp?") < 0.3:
+        tenants[0]["slo_us"] = round(100.0 + _u(seed, "ol_slo_hp") * 400.0, 3)
+    arrivals = {
+        "horizon_us": horizon_us,
+        "warmup_us": round(horizon_us * 0.125, 3),
+        "window_us": round(horizon_us * 0.25, 3),
+        "queue_capacity": _int_between(4, 32, seed, "ol_capacity"),
+        "admission": _pick(ARRIVAL_ADMISSIONS, seed, "ol_admission"),
+        "max_inflight": _int_between(1, 6, seed, "ol_inflight"),
+        "tenants": tenants,
+    }
+    slo = {"default": round(200.0 + _u(seed, "ol_slo") * 2_000.0, 3)}
+    return arrivals, slo
+
+
 def generate_synthetic_scenario(
     seed: int,
     *,
@@ -326,6 +367,7 @@ def generate_synthetic_scenario(
     max_processes: int = 5,
     block_multiplier: int = 1,
     config_overrides: Optional[dict] = None,
+    open_loop: bool = False,
 ) -> ScenarioSpec:
     """Derive one complete multiprogram scenario from an integer seed.
 
@@ -337,6 +379,11 @@ def generate_synthetic_scenario(
     ``-x<multiplier>`` name suffix) and ``config_overrides`` rides through to
     the spec verbatim — together they let the ``large_gpu`` scenario family
     reuse the fuzzer's seed-derived shapes at modern-GPU scale.
+
+    ``open_loop`` adds a seed-derived ``arrivals=``/``slo=`` section (kind,
+    rate, burstiness, admission policy, SLO budgets), turning the scenario
+    into an open-loop serving run (see :mod:`repro.serving`); the draws use
+    fresh hash keys, so closed-loop scenarios of the same seed are unchanged.
     """
     if seed < 0:
         raise ValueError("seed must be non-negative")
@@ -354,6 +401,9 @@ def generate_synthetic_scenario(
     else:
         high_priority_index = None
         high_priority = 10
+    arrivals = slo = None
+    if open_loop:
+        arrivals, slo = generate_synthetic_arrivals(seed, num_processes)
     return ScenarioSpec(
         scheme=scheme if scheme is not None else generate_synthetic_scheme(seed),
         applications=applications,
@@ -366,6 +416,8 @@ def generate_synthetic_scenario(
         high_priority=high_priority,
         validate=validate,
         trace=trace,
+        arrivals=arrivals,
+        slo=slo,
     )
 
 
@@ -379,6 +431,7 @@ def generate_synthetic_scenarios(
     scheme: Optional[SchemeSpec] = None,
     min_processes: int = 2,
     max_processes: int = 5,
+    open_loop: bool = False,
 ) -> List[ScenarioSpec]:
     """Derive ``count`` scenarios from consecutive sub-seeds of ``seed``.
 
@@ -397,6 +450,7 @@ def generate_synthetic_scenarios(
             scheme=scheme,
             min_processes=min_processes,
             max_processes=max_processes,
+            open_loop=open_loop,
         )
         for i in range(count)
     ]
@@ -417,6 +471,9 @@ __all__ = [
     "derive_app_params",
     "build_synthetic_trace",
     "generate_synthetic_scheme",
+    "generate_synthetic_arrivals",
     "generate_synthetic_scenario",
     "generate_synthetic_scenarios",
+    "ARRIVAL_KINDS",
+    "ARRIVAL_ADMISSIONS",
 ]

@@ -1,0 +1,17 @@
+"""Fixtures for the serving-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from serving_scenarios import make_overload_scenario, make_serving_scenario
+
+
+@pytest.fixture
+def serving_scenario():
+    return make_serving_scenario()
+
+
+@pytest.fixture
+def overload_scenario():
+    return make_overload_scenario()

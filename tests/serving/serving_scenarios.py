@@ -1,0 +1,68 @@
+"""Shared scenario builders for the serving-layer tests."""
+
+from __future__ import annotations
+
+from repro.scenario import ScenarioSpec, SchemeSpec
+
+
+def make_serving_scenario(
+    *,
+    validate: bool = False,
+    trace: bool = False,
+    arrivals_overrides=None,
+    slo=None,
+    scheme: SchemeSpec = None,
+) -> ScenarioSpec:
+    """The reference two-tenant open-loop scenario (bursty HP over Poisson)."""
+    arrivals = {
+        "horizon_us": 20_000.0,
+        "warmup_us": 2_000.0,
+        "queue_capacity": 16,
+        "admission": "drop",
+        "max_inflight": 4,
+        "window_us": 5_000.0,
+        "tenants": [
+            {"process": "mmpp", "seed": 1, "mean_interarrival_us": 400.0},
+            {"process": "poisson", "seed": 2, "mean_interarrival_us": 600.0},
+        ],
+    }
+    arrivals.update(arrivals_overrides or {})
+    return ScenarioSpec(
+        scheme=scheme
+        if scheme is not None
+        else SchemeSpec(
+            name="ppq_cs",
+            policy="ppq",
+            mechanism="context_switch",
+            transfer_policy="npq",
+        ),
+        applications=("syn-11-0", "syn-11-1"),
+        high_priority_index=0,
+        scale="smoke",
+        validate=validate,
+        trace=trace,
+        arrivals=arrivals,
+        slo=slo if slo is not None else {"default": 3_000.0},
+    )
+
+
+def make_overload_scenario(**kwargs) -> ScenarioSpec:
+    """An overloaded variant that forces drops and queueing pressure."""
+    return make_serving_scenario(
+        arrivals_overrides={
+            "queue_capacity": 4,
+            "admission": "drop_oldest",
+            "max_inflight": 2,
+            "tenants": [
+                {
+                    "process": "mmpp",
+                    "seed": 1,
+                    "mean_interarrival_us": 60.0,
+                    "burstiness": 10.0,
+                },
+                {"process": "pareto", "seed": 2, "mean_interarrival_us": 90.0},
+            ],
+        },
+        slo={"default": 50.0},
+        **kwargs,
+    )

@@ -1,0 +1,195 @@
+"""Serving-driver tests: spec parsing, determinism, tracing, integration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.registry import UnknownComponentError
+from repro.runner import execute_scenario
+from repro.scenario import ScenarioSpec, SchemeSpec
+from repro.serving.driver import ServingDriver, ServingSpec, run_serving
+from repro.telemetry import events as telemetry_events
+
+from serving_scenarios import make_overload_scenario, make_serving_scenario
+
+
+def _summary_json(scenario: ScenarioSpec, **kwargs) -> str:
+    return json.dumps(run_serving(scenario, **kwargs).summary, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Spec parsing and validation
+# ----------------------------------------------------------------------
+def test_spec_parses_the_reference_scenario(serving_scenario):
+    spec = ServingSpec.from_scenario(serving_scenario)
+    assert spec.horizon_us == 20_000.0
+    assert spec.warmup_us == 2_000.0
+    assert [t.process for t in spec.tenants] == ["mmpp", "poisson"]
+    assert [t.name for t in spec.tenants] == ["syn-11-0#0", "syn-11-1#1"]
+    # Tenant 0 is the high-priority slot; both inherit the default SLO.
+    assert spec.tenants[0].priority > spec.tenants[1].priority
+    assert all(t.slo_us == 3_000.0 for t in spec.tenants)
+
+
+def test_spec_defaults_apply_without_tenant_entries():
+    scenario = make_serving_scenario(
+        arrivals_overrides={"tenants": [{}, {}]}, slo={}
+    )
+    spec = ServingSpec.from_scenario(scenario)
+    assert all(t.process == "poisson" for t in spec.tenants)
+    assert [t.seed for t in spec.tenants] == [0, 1]
+    assert all(t.slo_us is None for t in spec.tenants)
+
+
+def test_spec_slo_resolution_precedence():
+    scenario = make_serving_scenario(
+        arrivals_overrides={
+            "tenants": [
+                {"slo_us": 111.0},  # explicit tenant budget wins
+                {},                  # falls through the slo= mapping
+            ]
+        },
+        slo={"default": 444.0, "syn-11-1": 333.0, "syn-11-1#1": 222.0},
+    )
+    spec = ServingSpec.from_scenario(scenario)
+    assert spec.tenants[0].slo_us == 111.0
+    # Process name (app#slot) beats app name beats default.
+    assert spec.tenants[1].slo_us == 222.0
+
+
+def test_spec_rejects_closed_loop_scenarios():
+    closed = ScenarioSpec(
+        scheme=SchemeSpec(policy="fcfs"), applications=("syn-11-0",), scale="smoke"
+    )
+    with pytest.raises(ValueError, match="closed-loop"):
+        ServingSpec.from_scenario(closed)
+
+
+@pytest.mark.parametrize("overrides,match", [
+    ({"bogus_key": 1}, "unknown arrivals keys"),
+    ({"horizon_us": 0.0}, "horizon_us"),
+    ({"warmup_us": 30_000.0}, "warmup_us"),
+    ({"admission": "banana"}, "admission"),
+    ({"max_inflight": 0}, "max_inflight"),
+    ({"tenants": [{}]}, "entries"),
+])
+def test_spec_rejects_invalid_sections(overrides, match):
+    scenario = make_serving_scenario(arrivals_overrides=overrides)
+    with pytest.raises(ValueError, match=match):
+        ServingSpec.from_scenario(scenario)
+
+
+def test_spec_missing_horizon_rejected():
+    scenario = make_serving_scenario()
+    arrivals = dict(scenario.arrivals)
+    del arrivals["horizon_us"]
+    stripped = make_serving_scenario()
+    object.__setattr__(stripped, "arrivals", arrivals)
+    with pytest.raises(ValueError, match="horizon_us"):
+        ServingSpec.from_scenario(stripped)
+
+
+def test_unknown_arrival_process_suggests_a_close_match():
+    scenario = make_serving_scenario(
+        arrivals_overrides={
+            "tenants": [{"process": "possion"}, {"process": "poisson"}]
+        }
+    )
+    with pytest.raises(UnknownComponentError) as excinfo:
+        ServingSpec.from_scenario(scenario)
+    assert "poisson" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def test_run_is_deterministic(serving_scenario):
+    assert _summary_json(serving_scenario) == _summary_json(serving_scenario)
+
+
+def test_summary_reports_the_advertised_fields(serving_scenario):
+    outcome = run_serving(serving_scenario)
+    summary = outcome.summary
+    # The run drains, so everything admitted also completed.
+    assert (
+        summary["queue"]["arrived"]
+        == summary["queue"]["admitted"] + summary["queue"]["dropped"]
+    )
+    assert summary["completed"] == summary["queue"]["admitted"]
+    assert summary["warmup_discarded"] > 0
+    latency = summary["latency_us"]
+    assert 0 < latency["p50"] <= latency["max"]
+    assert latency["count"] == summary["completed"] - summary["warmup_discarded"]
+    assert summary["window"]["window_us"] == 5_000.0
+    assert summary["throughput_rps"] > 0
+    assert set(summary["tenants"]) == {"syn-11-0#0", "syn-11-1#1"}
+    assert outcome.segments == 1
+    assert outcome.simulated_time_us == pytest.approx(
+        summary["simulated_time_us"], abs=1e-3
+    )
+
+
+def test_driver_completes_an_unbounded_segment(serving_scenario):
+    driver = ServingDriver(serving_scenario).run()
+    assert driver.complete
+    assert driver.events_processed > 0
+
+
+def test_overload_drops_and_violates_slos(overload_scenario):
+    summary = run_serving(overload_scenario).summary
+    assert summary["queue"]["dropped"] > 0
+    assert summary["slo_violations_total"] > 0
+    assert summary["queue"]["peak_depth"] >= summary["queue"]["capacity"]
+
+
+def test_tracing_does_not_perturb_results(serving_scenario):
+    plain = _summary_json(serving_scenario)
+    traced_scenario = make_serving_scenario(trace=True)
+    traced = run_serving(traced_scenario)
+    assert json.dumps(traced.summary, sort_keys=True) == plain
+
+
+def test_trace_events_match_queue_counters():
+    outcome = run_serving(make_overload_scenario(trace=True))
+    kinds = {}
+    for event in outcome.trace_events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    queue = outcome.summary["queue"]
+    assert kinds[telemetry_events.REQUEST_ARRIVAL] == queue["arrived"]
+    assert kinds[telemetry_events.REQUEST_ADMIT] == queue["admitted"]
+    assert kinds[telemetry_events.REQUEST_COMPLETE] == queue["admitted"]
+    assert kinds[telemetry_events.REQUEST_DROP] == queue["dropped"]
+
+
+def test_validation_passes_under_open_load():
+    outcome = run_serving(make_overload_scenario(validate=True))
+    assert outcome.validated
+    assert outcome.violations == []
+
+
+def test_validation_does_not_perturb_results(serving_scenario):
+    plain = _summary_json(serving_scenario)
+    validated = _summary_json(make_serving_scenario(validate=True))
+    assert validated == plain
+
+
+# ----------------------------------------------------------------------
+# Batch/runner integration
+# ----------------------------------------------------------------------
+def test_execute_scenario_carries_the_serving_summary(serving_scenario):
+    record = execute_scenario(serving_scenario)
+    payload = record.to_dict()
+    assert payload["serving"] is not None
+    assert payload["serving"]["queue"]["arrived"] > 0
+    # Open-loop runs replace the closed-loop per-process metrics.
+    assert payload["process_times_us"] == {}
+    assert payload["metrics"]["stp"] == 0.0
+    assert record.result.serving_summary == payload["serving"]
+    json.dumps(payload, sort_keys=True)  # fully JSON-serialisable
+
+
+def test_scenario_round_trips_through_json(serving_scenario):
+    rebuilt = ScenarioSpec.from_dict(json.loads(serving_scenario.to_json()))
+    assert rebuilt.to_json() == serving_scenario.to_json()

@@ -1,0 +1,65 @@
+"""Golden-pinned serving summary: the reference open-loop smoke run.
+
+The full serving summary (admission counters, streaming quantiles, windowed
+throughput/ANTT, SLO violations, reservoir) of the reference two-tenant
+bursty scenario is frozen into ``tests/golden/serving_smoke.json``.  Any
+drift in the arrival streams, the queueing/launch path, the GPU timing model
+or the metric estimators shows up as a byte-level diff here.
+
+To regenerate after an *intentional* modelling change, run this module
+directly (``python tests/serving/test_golden.py``) and commit the updated
+fixture with an explanation of the drift.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.serving.driver import run_serving
+
+from serving_scenarios import make_serving_scenario
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+FIXTURE = GOLDEN_DIR / "serving_smoke.json"
+
+
+def _compute():
+    scenario = make_serving_scenario(validate=True)
+    outcome = run_serving(scenario)
+    return {
+        "scenario": scenario.to_dict(),
+        "summary": outcome.summary,
+        "segments": outcome.segments,
+        "violations": outcome.violations,
+    }
+
+
+@pytest.fixture(scope="module")
+def computed():
+    return json.loads(json.dumps(_compute(), sort_keys=True))
+
+
+def test_serving_summary_matches_golden_fixture(computed):
+    golden = json.loads(FIXTURE.read_text())
+    assert computed == golden, (
+        f"serving summary drifted from {FIXTURE}; if the modelling change is "
+        "intentional, regenerate the fixture (see module docstring)"
+    )
+
+
+def test_golden_fixture_passed_validation(computed):
+    assert computed["violations"] == []
+    assert computed["summary"]["queue"]["arrived"] > 0
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Rewrite the golden fixture from the current simulator output."""
+    FIXTURE.write_text(json.dumps(_compute(), indent=2, sort_keys=True) + "\n")
+    print(f"regenerated {FIXTURE}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

@@ -1,0 +1,118 @@
+"""Ingress-queue tests: dispatch order, admission policies, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.queue import (
+    ADMISSION_POLICIES,
+    IngressQueue,
+    QueueCounters,
+    Request,
+)
+
+
+def _request(request_id: int, *, tenant: str = "a#0", priority: int = 0) -> Request:
+    return Request(
+        request_id=request_id,
+        tenant=tenant,
+        kernel="k",
+        priority=priority,
+        arrival_us=float(request_id),
+    )
+
+
+def test_dispatch_is_priority_then_fifo():
+    queue = IngressQueue(capacity=8)
+    queue.offer(_request(0, priority=0))
+    queue.offer(_request(1, priority=5))
+    queue.offer(_request(2, priority=5))
+    queue.offer(_request(3, priority=1))
+    order = [queue.pop().request_id for _ in range(4)]
+    assert order == [1, 2, 3, 0]
+    assert queue.pop() is None
+
+
+def test_drop_policy_rejects_the_newcomer():
+    queue = IngressQueue(capacity=2, admission="drop")
+    assert queue.offer(_request(0)) is None
+    assert queue.offer(_request(1)) is None
+    dropped = queue.offer(_request(2))
+    assert dropped is not None and dropped.request_id == 2
+    assert len(queue) == 2
+    assert queue.counters.arrived == 3
+    assert queue.counters.dropped == 1
+
+
+def test_drop_oldest_policy_evicts_worst_priority_oldest():
+    queue = IngressQueue(capacity=2, admission="drop_oldest")
+    queue.offer(_request(0, priority=1))
+    queue.offer(_request(1, priority=0))
+    dropped = queue.offer(_request(2, priority=5))
+    # Request 1 has the worst priority: it is the eviction victim.
+    assert dropped.request_id == 1
+    assert len(queue) == 2
+    assert [queue.pop().request_id for _ in range(2)] == [2, 0]
+
+
+def test_drop_oldest_breaks_priority_ties_by_age():
+    queue = IngressQueue(capacity=2, admission="drop_oldest")
+    queue.offer(_request(0, priority=0))
+    queue.offer(_request(1, priority=0))
+    dropped = queue.offer(_request(2, priority=0))
+    assert dropped.request_id == 0
+
+
+def test_block_policy_grows_past_capacity_and_counts_backpressure():
+    queue = IngressQueue(capacity=2, admission="block")
+    for i in range(5):
+        assert queue.offer(_request(i)) is None
+    assert len(queue) == 5
+    assert queue.counters.dropped == 0
+    assert queue.counters.backpressure_events == 3
+    assert queue.counters.peak_depth == 5
+
+
+def test_per_tenant_counters_track_every_transition():
+    queue = IngressQueue(capacity=1, admission="drop")
+    queue.offer(_request(0, tenant="a#0"))
+    queue.offer(_request(1, tenant="b#1"))  # dropped (full)
+    queue.pop()
+    counters = queue.counters.to_dict()
+    assert counters["per_tenant_arrived"] == {"a#0": 1, "b#1": 1}
+    assert counters["per_tenant_admitted"] == {"a#0": 1}
+    assert counters["per_tenant_dropped"] == {"b#1": 1}
+
+
+def test_counters_round_trip_through_dict_form():
+    queue = IngressQueue(capacity=2, admission="drop")
+    for i in range(4):
+        queue.offer(_request(i, tenant=f"t#{i % 2}"))
+    queue.pop()
+    payload = queue.counters.to_dict()
+    assert QueueCounters.from_dict(payload).to_dict() == payload
+
+
+def test_drain_returns_dispatch_order():
+    queue = IngressQueue(capacity=8)
+    queue.offer(_request(0, priority=1))
+    queue.offer(_request(1, priority=9))
+    queue.offer(_request(2, priority=1))
+    assert [r.request_id for r in queue.drain()] == [1, 0, 2]
+    assert len(queue) == 0
+
+
+def test_request_latency_requires_completion():
+    request = _request(0)
+    with pytest.raises(ValueError):
+        _ = request.latency_us
+    request.complete_us = 10.0
+    assert request.latency_us == 10.0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        IngressQueue(capacity=0)
+    with pytest.raises(ValueError):
+        IngressQueue(admission="banana")
+    assert ADMISSION_POLICIES == ("drop", "drop_oldest", "block")
