@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Fleet benchmark: multi-GPU serving throughput, serial vs sharded epochs.
+
+Runs the :mod:`repro.experiments.fleet` four-GPU scenario (cluster-level
+admission, least-loaded routing) twice — epoch batches executed serially in
+this process, then sharded over a :class:`~repro.runner.BatchRunner` worker
+pool — and records, per mode:
+
+* wall-clock time of the fleet run (best of ``--repeats``),
+* completed requests and requests/sec,
+* simulator events processed and events/sec (engine-level throughput),
+
+plus the sharded/serial speedup and the host CPU count.  The two modes
+produce byte-identical summaries (asserted on every run); sharding only buys
+wall-clock time, and only on hosts with spare cores — the recorded
+``cpu_count`` says how much parallelism the numbers could possibly reflect.
+
+Results are merged into ``BENCH_results.json`` (or ``--output``) under the
+``fleet_bench`` key; ``benchmarks/compare_bench.py`` gates the
+``events_per_sec`` of every entry alongside the other bench sections.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py                # reduced scale
+    PYTHONPATH=src python benchmarks/bench_fleet.py --preset small # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.cluster import run_fleet
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.fleet import fleet_scenario
+from repro.runner import BatchRunner
+from repro.utils.bench_results import merge_section
+
+#: Preset name -> workload scale.  Like the serving bench, even ``small``
+#: uses the reduced scale: smoke-scale fleet runs finish in milliseconds,
+#: far too noisy for a 25% regression gate.
+PRESETS: Dict[str, str] = {
+    "small": "reduced",
+    "full": "full",
+}
+
+
+def bench_mode(
+    scale: str, *, runner: Optional[BatchRunner], repeats: int
+) -> Dict:
+    """Benchmark one execution mode; returns (entry record, summary JSON)."""
+    config = ExperimentConfig(scale=scale)
+    scenario = fleet_scenario(config, router="least_loaded")
+    best_wall = float("inf")
+    outcome = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        outcome = run_fleet(scenario, runner=runner)
+        best_wall = min(best_wall, time.perf_counter() - started)
+    summary = outcome.summary
+    completed = summary["completed"]
+    events = outcome.events_processed
+    entry = {
+        "scale": scale,
+        "mode": "sharded" if runner is not None else "serial",
+        "num_gpus": summary["num_gpus"],
+        "wall_s": round(best_wall, 4),
+        "requests_completed": completed,
+        "requests_per_sec": round(completed / best_wall) if best_wall else 0,
+        "events_processed": events,
+        "events_per_sec": round(events / best_wall) if best_wall else 0,
+        "simulated_us": summary["simulated_time_us"],
+    }
+    return entry, json.dumps(summary, sort_keys=True)
+
+
+def run_benchmark(preset: str, *, repeats: int, jobs: int) -> Dict:
+    """Run both modes of ``preset`` and build the ``fleet_bench`` payload."""
+    scale = PRESETS[preset]
+    serial, serial_summary = bench_mode(scale, runner=None, repeats=repeats)
+    with BatchRunner(jobs=jobs) as runner:
+        sharded, sharded_summary = bench_mode(scale, runner=runner, repeats=repeats)
+    if serial_summary != sharded_summary:
+        raise AssertionError("serial and sharded fleet summaries differ")
+    for entry in (serial, sharded):
+        print(
+            f"fleet_{entry['mode']}: wall {entry['wall_s']} s, "
+            f"{entry['requests_completed']} requests, "
+            f"{entry['events_processed']} events, "
+            f"{entry['events_per_sec']:,} events/s",
+            file=sys.stderr,
+        )
+    speedup = serial["wall_s"] / sharded["wall_s"] if sharded["wall_s"] else 0.0
+    print(
+        f"sharding speedup: {speedup:.2f}x on {os.cpu_count()} CPU(s); "
+        "summaries byte-identical",
+        file=sys.stderr,
+    )
+    return {
+        "schema": 1,
+        "preset": preset,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "sharding_speedup": round(speedup, 3),
+        "metric": (
+            "events_per_sec counts raw simulator events per wall-clock second; "
+            "serial and sharded modes produce byte-identical summaries, so "
+            "sharding_speedup is pure wall-clock (bounded by cpu_count)"
+        ),
+        "results": {"fleet_serial": serial, "fleet_sharded": sharded},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="full", help="scale preset to run"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions per mode (best wins)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="worker processes for the sharded mode"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.environ.get("BENCH_RESULTS_PATH", "BENCH_results.json"),
+        help="results file to merge into (default: BENCH_results.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(args.preset, repeats=args.repeats, jobs=args.jobs)
+    merge_section(args.output, "fleet_bench", payload)
+    print(f"fleet_bench ({args.preset}) -> {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

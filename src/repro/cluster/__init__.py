@@ -1,0 +1,35 @@
+"""Multi-GPU fleet simulation: routed epochs over N member GPUs.
+
+Scenario-level entry point: add a ``cluster=`` section next to
+``arrivals=`` and the workload runner dispatches to :func:`run_fleet`,
+which serves the arrival streams across the fleet — serially or sharded
+over a :class:`~repro.runner.BatchRunner` process pool, byte-identically.
+"""
+
+from repro.cluster.fleet import FLEET_SUMMARY_SCHEMA, FleetOutcome, GPUFleet, run_fleet
+from repro.cluster.routing import (
+    GPUView,
+    LeastLoadedRouter,
+    PrioritySpillRouter,
+    RoundRobinRouter,
+    Router,
+    TenantAffinityRouter,
+)
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.worker import execute_epoch, make_epoch_payload
+
+__all__ = [
+    "FLEET_SUMMARY_SCHEMA",
+    "ClusterSpec",
+    "FleetOutcome",
+    "GPUFleet",
+    "GPUView",
+    "LeastLoadedRouter",
+    "PrioritySpillRouter",
+    "Router",
+    "RoundRobinRouter",
+    "TenantAffinityRouter",
+    "execute_epoch",
+    "make_epoch_payload",
+    "run_fleet",
+]

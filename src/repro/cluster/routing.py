@@ -1,0 +1,153 @@
+"""Cluster request routers: place admitted requests on fleet member GPUs.
+
+A router sees the request stream the fleet's admission queue dispatches at
+each epoch boundary, plus a :class:`GPUView` snapshot per member GPU (clock,
+cumulative assignment/completion counts), and names the GPU each request
+runs on.  Routers are registered in :data:`repro.registry.ROUTERS` and
+selected by name through the scenario's ``cluster=`` section, exactly like
+scheduling policies and arrival processes.
+
+Every router is deterministic: routing is a pure function of the request
+sequence and the epoch-boundary views (plus explicit options), never of
+wall-clock time or process identity — the fleet's serial-vs-sharded
+byte-identity guarantee depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.registry import register_router
+from repro.serving.queue import Request
+from repro.utils.determinism import hash_uniform
+
+_NS = "repro.cluster.routing"
+
+
+@dataclass
+class GPUView:
+    """Epoch-boundary snapshot of one member GPU, as routers see it."""
+
+    #: Fleet-local GPU index.
+    gpu_id: int
+    #: The GPU's simulation clock at the last sync point (µs).
+    clock_us: float = 0.0
+    #: Requests assigned to the GPU so far (including the current round).
+    assigned: int = 0
+    #: Requests the GPU has completed so far.
+    completed: int = 0
+    #: Cumulative per-tenant assignment counts.
+    tenant_assigned: Dict[str, int] = field(default_factory=dict)
+
+
+def _least_loaded_id(views: List[GPUView]) -> int:
+    """The least-loaded GPU: fewest assignments, then earliest clock.
+
+    The fleet has no per-request cost model at routing time, so load is the
+    pair (cumulative assignments, clock): assignment counts spread the batch
+    evenly and the clock breaks ties toward the GPU that is least behind.
+    """
+    return min(views, key=lambda v: (v.assigned, v.clock_us, v.gpu_id)).gpu_id
+
+
+def _affinity_home(tenant: str, num_gpus: int, seed: int) -> int:
+    """The tenant's stable home GPU (hash-keyed, independent of load)."""
+    return min(
+        int(hash_uniform(_NS, seed, "affinity", tenant) * num_gpus), num_gpus - 1
+    )
+
+
+class Router:
+    """Base class for cluster routers (subclass and implement :meth:`route`)."""
+
+    name = "base"
+
+    def route(self, request: Request, views: List[GPUView]) -> int:
+        """Return the ``gpu_id`` the request runs on."""
+        raise NotImplementedError
+
+
+@register_router("round_robin", "rr")
+class RoundRobinRouter(Router):
+    """Cycle through member GPUs in order, ignoring load and tenancy."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def route(self, request: Request, views: List[GPUView]) -> int:
+        gpu_id = self._cursor % len(views)
+        self._cursor += 1
+        return gpu_id
+
+
+@register_router("least_loaded", "ll")
+class LeastLoadedRouter(Router):
+    """Send each request to the GPU with the fewest assignments (clock ties)."""
+
+    name = "least_loaded"
+
+    def route(self, request: Request, views: List[GPUView]) -> int:
+        return _least_loaded_id(views)
+
+
+@register_router("tenant_affinity", "affinity")
+class TenantAffinityRouter(Router):
+    """Pin every tenant to a stable home GPU (hash of the tenant name).
+
+    Keeps a tenant's requests on one device — the serving analogue of
+    context/data locality — at the cost of load imbalance when tenant rates
+    are skewed.  ``seed`` reshuffles the tenant→GPU mapping.
+    """
+
+    name = "tenant_affinity"
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def route(self, request: Request, views: List[GPUView]) -> int:
+        return _affinity_home(request.tenant, len(views), self.seed)
+
+
+@register_router("priority_spill", "spill")
+class PrioritySpillRouter(Router):
+    """Affinity for normal traffic; high-priority and overflow spill to load.
+
+    Requests with ``priority > threshold`` always take the least-loaded GPU
+    (latency-critical traffic must not queue behind a hot home device).
+    Everything else goes to its tenant-affinity home unless the home is
+    ``spill_margin`` assignments ahead of the least-loaded GPU, in which
+    case it spills there too.
+    """
+
+    name = "priority_spill"
+
+    def __init__(
+        self, *, threshold: int = 0, spill_margin: int = 4, seed: int = 0
+    ) -> None:
+        if spill_margin < 1:
+            raise ValueError("spill_margin must be at least 1")
+        self.threshold = int(threshold)
+        self.spill_margin = int(spill_margin)
+        self.seed = int(seed)
+
+    def route(self, request: Request, views: List[GPUView]) -> int:
+        spill_id = _least_loaded_id(views)
+        if request.priority > self.threshold:
+            return spill_id
+        home_id = _affinity_home(request.tenant, len(views), self.seed)
+        if views[home_id].assigned - views[spill_id].assigned >= self.spill_margin:
+            return spill_id
+        return home_id
+
+
+__all__ = [
+    "GPUView",
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "TenantAffinityRouter",
+    "PrioritySpillRouter",
+]

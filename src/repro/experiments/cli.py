@@ -37,6 +37,7 @@ from repro.experiments import dss_data, priority_data
 from repro.experiments import figure2, figure5, figure6, figure7, figure8, table1, table2
 from repro.experiments import preemption_latency, synthetic
 from repro.experiments import mechanism_choice
+from repro.experiments import fleet as fleet_experiment
 from repro.experiments import scale as scale_experiment
 from repro.experiments import serving as serving_experiment
 from repro.experiments import slo_preemption
@@ -46,6 +47,7 @@ from repro.registry import (
     CONTROLLERS,
     MECHANISMS,
     POLICIES,
+    ROUTERS,
     TRANSFER_POLICIES,
 )
 
@@ -64,6 +66,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "mechanism_choice": mechanism_choice.run,
     "scale": scale_experiment.run,
     "serving": serving_experiment.run,
+    "fleet": fleet_experiment.run,
     "slo_preemption": slo_preemption.run,
 }
 
@@ -264,6 +267,7 @@ def format_listing() -> str:
         ("Preemption controllers", CONTROLLERS),
         ("Transfer scheduling policies", TRANSFER_POLICIES),
         ("Arrival processes", ARRIVALS),
+        ("Cluster routers", ROUTERS),
     ):
         lines.append("")
         lines.append(f"{title}:")

@@ -1,6 +1,6 @@
 """Component registries for the pluggable parts of the simulated system.
 
-Five registries replace the old hard-coded ``make_policy`` /
+Six registries replace the old hard-coded ``make_policy`` /
 ``make_mechanism`` string factories:
 
 * :data:`POLICIES` — scheduling policies (``fcfs``, ``npq``, ``ppq``,
@@ -12,7 +12,10 @@ Five registries replace the old hard-coded ``make_policy`` /
 * :data:`TRANSFER_POLICIES` — data-transfer engine scheduling policies
   (``fcfs``, ``npq``),
 * :data:`ARRIVALS` — open-loop request arrival processes for the serving
-  layer (``poisson``, ``mmpp``, ``lognormal``, ``pareto``, ``replay``).
+  layer (``poisson``, ``mmpp``, ``lognormal``, ``pareto``, ``replay``),
+* :data:`ROUTERS` — cluster request routers placing admitted requests on
+  fleet member GPUs (``round_robin``, ``least_loaded``, ``tenant_affinity``,
+  ``priority_spill``).
 
 The built-in components register themselves with the
 :func:`register_policy` / :func:`register_mechanism` /
@@ -237,6 +240,10 @@ def _load_builtin_arrivals() -> None:
     import repro.serving.arrivals  # noqa: F401
 
 
+def _load_builtin_routers() -> None:
+    import repro.cluster.routing  # noqa: F401
+
+
 POLICIES = ComponentRegistry("scheduling policy", _load_builtin_policies)
 MECHANISMS = ComponentRegistry("preemption mechanism", _load_builtin_mechanisms)
 CONTROLLERS = ComponentRegistry("preemption controller", _load_builtin_controllers)
@@ -244,6 +251,7 @@ TRANSFER_POLICIES = ComponentRegistry(
     "transfer scheduling policy", _load_builtin_transfer_policies
 )
 ARRIVALS = ComponentRegistry("arrival process", _load_builtin_arrivals)
+ROUTERS = ComponentRegistry("cluster router", _load_builtin_routers)
 
 
 def register_policy(name: str, *aliases: str, **kwargs):
@@ -271,6 +279,11 @@ def register_arrival(name: str, *aliases: str, **kwargs):
     return ARRIVALS.register(name, *aliases, **kwargs)
 
 
+def register_router(name: str, *aliases: str, **kwargs):
+    """Register a cluster request router (decorator)."""
+    return ROUTERS.register(name, *aliases, **kwargs)
+
+
 __all__ = [
     "ComponentRegistry",
     "RegistryEntry",
@@ -281,9 +294,11 @@ __all__ = [
     "CONTROLLERS",
     "TRANSFER_POLICIES",
     "ARRIVALS",
+    "ROUTERS",
     "register_policy",
     "register_mechanism",
     "register_controller",
     "register_transfer_policy",
     "register_arrival",
+    "register_router",
 ]

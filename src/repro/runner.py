@@ -174,6 +174,9 @@ class BatchRunner:
         self.jobs = jobs
         self.chunksize = chunksize
         self.trace_dir = trace_dir
+        #: Persistent pool behind :meth:`map_tasks` (lazily created/probed).
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_failed = False
 
     def _trace_paths(self, scenarios: List[ScenarioSpec]) -> List[Optional[str]]:
         if self.trace_dir is None:
@@ -225,6 +228,69 @@ class BatchRunner:
             # propagate: discarding completed work to re-run a long grid
             # serially would be far costlier than failing fast.
             return list(executor.map(_execute_payload, payloads, chunksize=chunksize))
+
+    # ------------------------------------------------------------------
+    # Generic sharding (used by the cluster fleet layer)
+    # ------------------------------------------------------------------
+    def map_tasks(self, fn, payloads) -> List[Any]:
+        """Map a top-level function over payloads on this runner's pool.
+
+        The generic sharding primitive behind :mod:`repro.cluster`: ``fn``
+        must be a module-level (picklable) pure function and every payload
+        plain data, so the result list is identical to
+        ``[fn(p) for p in payloads]`` — the pool only buys wall-clock time,
+        never changes results.  Order is preserved.  With ``jobs=1``, fewer
+        than two payloads, or on hosts where worker processes cannot spawn,
+        the map runs serially in this process.
+
+        Unlike :meth:`run` (which builds a fresh pool per batch), the pool
+        here persists across calls — epoch-sharded fleet simulations map
+        many small batches, and respawning workers per epoch would swamp
+        the work.  Call :meth:`close` (or use the runner as a context
+        manager) to shut it down.
+        """
+        payloads = list(payloads)
+        if self.jobs == 1 or len(payloads) < 2:
+            return [fn(payload) for payload in payloads]
+        executor = self._ensure_executor()
+        if executor is None:  # pragma: no cover - sandboxed hosts
+            return [fn(payload) for payload in payloads]
+        return list(executor.map(fn, payloads))
+
+    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+        """The persistent pool, created and probed on first use.
+
+        Returns ``None`` (serial mode) when worker processes cannot spawn;
+        the failure is remembered so every later call skips the probe.
+        """
+        if self._executor_failed:  # pragma: no cover - sandboxed hosts
+            return None
+        if self._executor is None:
+            try:
+                executor = ProcessPoolExecutor(max_workers=self.jobs)
+                executor.submit(int).result()
+            except OSError as exc:  # pragma: no cover - sandboxed hosts
+                self._executor_failed = True
+                warnings.warn(
+                    f"process pool unavailable ({exc}); map_tasks runs serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return None
+            self._executor = executor
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the persistent :meth:`map_tasks` pool (if any)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @staticmethod
     def _serial_fallback(

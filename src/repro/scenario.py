@@ -301,6 +301,12 @@ class ScenarioSpec:
     #: Per-tenant latency budgets (µs) for SLO-violation counting: keys are
     #: process names (``app#slot``), application names or ``"default"``.
     slo: Optional[Mapping[str, Any]] = None
+    #: Multi-GPU fleet configuration (``None`` = single-GPU run).  A mapping
+    #: with ``num_gpus`` plus optional ``router``/``router_options``/
+    #: ``epoch_us``; see :class:`repro.cluster.ClusterSpec` for the accepted
+    #: keys.  Requires an ``arrivals=`` section: the fleet serves the same
+    #: open-loop request streams, routed across member GPUs.
+    cluster: Optional[Mapping[str, Any]] = None
 
     __hash__ = None  # type: ignore[assignment]
 
@@ -327,6 +333,10 @@ class ScenarioSpec:
             object.__setattr__(self, "slo", _canonicalize(dict(self.slo)))
         if self.slo is not None and self.arrivals is None:
             raise ValueError("slo= budgets require an arrivals= section")
+        if self.cluster is not None:
+            object.__setattr__(self, "cluster", _canonicalize(dict(self.cluster)))
+            if self.arrivals is None:
+                raise ValueError("cluster= fleets require an arrivals= section")
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -408,6 +418,7 @@ class ScenarioSpec:
             "trace": self.trace,
             "arrivals": None if self.arrivals is None else dict(self.arrivals),
             "slo": None if self.slo is None else dict(self.slo),
+            "cluster": None if self.cluster is None else dict(self.cluster),
         }
 
     @classmethod

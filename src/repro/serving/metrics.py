@@ -32,6 +32,12 @@ _NS = "repro.serving.metrics"
 #: Quantiles tracked for every latency stream.
 QUANTILES = (0.5, 0.95, 0.99)
 
+#: Service-time floor (µs) used when normalizing latency.  The simulator
+#: rounds every timestamp to 1 ns (1e-3 µs), so a "zero-duration" kernel
+#: really means "faster than one tick"; flooring at the tick keeps the
+#: normalized latency finite instead of silently reporting 1.0.
+MIN_SERVICE_US = 1e-3
+
 
 def _round3(value: float) -> float:
     return round(value, 3)
@@ -240,7 +246,12 @@ class SlidingWindow:
                 count += bucket[1]
                 latency_sum += bucket[2]
                 norm_sum += bucket[3]
-        throughput = count / self.window_us * 1e6
+        # Pro-rate by the elapsed span: the newest bucket is only partially
+        # elapsed, and a stream younger than the window has only lived for
+        # ``now_us`` — dividing by the full window under-reports throughput
+        # by up to 1/NUM_BUCKETS (more for young streams).
+        span_us = min(now_us - oldest * self._bucket_us, now_us)
+        throughput = count / span_us * 1e6 if span_us > 0 else 0.0
         return {
             "completions": int(count),
             "throughput_rps": _round3(throughput),
@@ -349,6 +360,9 @@ class ServingMetrics:
         self.window = SlidingWindow(window_us)
         self.warmup_discarded = 0
         self.completed = 0
+        #: Completions whose service time was below one simulator tick and
+        #: was floored at :data:`MIN_SERVICE_US` for normalization.
+        self.zero_service = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -361,7 +375,8 @@ class ServingMetrics:
         ``latency`` is request sojourn time (complete − arrival); the
         ANTT-style *normalized* latency divides by the request's own service
         time (complete − admit), the serving analogue of the paper's
-        normalized turnaround time.
+        normalized turnaround time.  Sub-tick service times are floored at
+        :data:`MIN_SERVICE_US` and counted in ``zero_service``.
         """
         if tenant not in self.tenant_streams:
             raise KeyError(f"unknown tenant {tenant!r}")
@@ -373,7 +388,10 @@ class ServingMetrics:
             return
         latency = complete_us - arrival_us
         service = complete_us - admit_us
-        normalized = latency / service if service > 0 else 1.0
+        if service < MIN_SERVICE_US:
+            self.zero_service += 1
+            service = MIN_SERVICE_US
+        normalized = latency / service
         self.global_stream.add(latency)
         self.tenant_streams[tenant].add(latency)
         self.reservoir.add(latency)
@@ -402,6 +420,7 @@ class ServingMetrics:
             "warmup_us": _round3(self.warmup_us),
             "completed": self.completed,
             "warmup_discarded": self.warmup_discarded,
+            "zero_service": self.zero_service,
             "latency_us": self.global_stream.summary(),
             "throughput_rps": _round3(throughput),
             "window": {"window_us": _round3(self.window.window_us), **self.window.stats(now_us)},
@@ -420,6 +439,7 @@ class ServingMetrics:
             "seed": self.seed,
             "warmup_discarded": self.warmup_discarded,
             "completed": self.completed,
+            "zero_service": self.zero_service,
             "slo_budgets_us": dict(self.slo_budgets_us),
             "slo_violations": dict(self.slo_violations),
             "global": self.global_stream.state(),
@@ -442,6 +462,7 @@ class ServingMetrics:
         )
         metrics.warmup_discarded = int(state["warmup_discarded"])
         metrics.completed = int(state["completed"])
+        metrics.zero_service = int(state.get("zero_service", 0))
         metrics.slo_violations = {
             name: int(count) for name, count in state["slo_violations"].items()
         }
@@ -460,4 +481,5 @@ __all__ = [
     "SlidingWindow",
     "ServingMetrics",
     "QUANTILES",
+    "MIN_SERVICE_US",
 ]

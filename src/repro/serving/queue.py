@@ -5,8 +5,10 @@ until the :class:`~repro.serving.driver.ServingDriver` has a launch slot.
 The queue is bounded with a pluggable admission policy:
 
 * ``drop`` — a request arriving at a full queue is dropped (tail drop),
-* ``drop_oldest`` — the oldest queued request is evicted to admit the new
-  one (head drop; favours fresh work under overload),
+* ``drop_oldest`` — the lowest-priority, oldest request is evicted to make
+  room (head drop; favours fresh work under overload).  The arriving
+  request is part of the victim pool: when it ranks below everything
+  queued, *it* is the one dropped,
 * ``block`` — the queue grows beyond capacity, but every over-capacity
   admission is counted as a backpressure event (open-loop sources cannot be
   slowed down, so "blocking" manifests as measured pressure, not lost work).
@@ -125,9 +127,10 @@ class IngressQueue:
         """Offer an arriving request; returns the *dropped* request, if any.
 
         Under ``drop`` a full queue rejects the offered request itself;
-        under ``drop_oldest`` the lowest-priority, oldest queued request is
-        evicted instead; under ``block`` nothing is ever dropped but
-        over-capacity admissions bump the backpressure counter.
+        under ``drop_oldest`` the lowest-priority, oldest request — counting
+        the arriving request itself as the youngest candidate — is evicted;
+        under ``block`` nothing is ever dropped but over-capacity admissions
+        bump the backpressure counter.
         """
         counters = self.counters
         counters.arrived += 1
@@ -139,7 +142,7 @@ class IngressQueue:
             if self.admission == "drop":
                 dropped = request
             elif self.admission == "drop_oldest":
-                dropped = self._evict_oldest()
+                dropped = self._evict_oldest(request)
             else:  # block
                 counters.backpressure_events += 1
         if dropped is not request:
@@ -153,13 +156,22 @@ class IngressQueue:
             )
         return dropped
 
-    def _evict_oldest(self) -> Request:
-        """Evict the victim under ``drop_oldest``: worst priority, oldest."""
+    def _evict_oldest(self, incoming: Request) -> Request:
+        """Pick the ``drop_oldest`` victim: worst priority, oldest within it.
+
+        The arriving request belongs to the victim pool too (as the
+        youngest candidate): when it ranks strictly below every queued
+        request it is the victim, so eviction can never promote a newcomer
+        over queued work that outranks it.  On a priority tie the queued
+        (older) request is evicted, preserving head-drop semantics.
+        """
         victim_pos = max(
             range(len(self._heap)),
             key=lambda pos: (self._heap[pos][0], -self._heap[pos][1]),
         )
-        victim = self._heap[victim_pos][2]
+        neg_priority, _, victim = self._heap[victim_pos]
+        if -incoming.priority > neg_priority:
+            return incoming
         self._heap[victim_pos] = self._heap[-1]
         self._heap.pop()
         heapq.heapify(self._heap)

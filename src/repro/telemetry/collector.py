@@ -33,7 +33,11 @@ class TraceCollector(BaseObserver):
 
     wants_simulator_events = False
 
-    def __init__(self) -> None:
+    def __init__(self, *, gpu_id: Optional[int] = None) -> None:
+        #: Fleet member id stamped on every event (``None`` = single-GPU run,
+        #: events stay untagged).  Set by the cluster layer so merged fleet
+        #: traces remain attributable to their originating GPU.
+        self.gpu_id = gpu_id
         #: The recorded events, in emission (= simulation) order.
         self.events: List[TraceEvent] = []
         self._seq = 0
@@ -82,6 +86,8 @@ class TraceCollector(BaseObserver):
         return len(self.events)
 
     def _emit(self, kind: str, **attrs: Any) -> None:
+        if self.gpu_id is not None:
+            attrs["gpu"] = self.gpu_id
         self.events.append(
             TraceEvent(seq=self._seq, time_us=self._sim.now, kind=kind, attrs=attrs)
         )

@@ -358,6 +358,8 @@ class WorkloadRunner:
             raise ValueError(
                 "scenario config_overrides do not match this runner's configuration"
             )
+        if scenario.cluster is not None:
+            return self._run_fleet_scenario(scenario, trace_path=trace_path)
         if scenario.arrivals is not None:
             return self._run_serving_scenario(scenario, trace_path=trace_path)
         system = GPUSystem.from_scenario(scenario, config=self.config, suite=self.suite)
@@ -412,6 +414,60 @@ class WorkloadRunner:
             validated=system.validation is not None,
             violations=system.violations(),
             trace_summary=trace_summary,
+        )
+
+    def _run_fleet_scenario(
+        self, scenario: ScenarioSpec, *, trace_path: Optional[str] = None
+    ) -> WorkloadResult:
+        """Run a multi-GPU (``cluster=``) scenario through the fleet layer.
+
+        Like open-loop serving, closed-loop iteration metrics do not apply;
+        the fleet summary (cluster admission, merged and per-GPU serving
+        metrics, routing counts) lands in
+        :attr:`WorkloadResult.serving_summary`.  Runs serially here — the
+        fleet experiment shards epochs over a
+        :class:`~repro.runner.BatchRunner` pool directly via
+        :func:`repro.cluster.run_fleet`.
+        """
+        from repro.cluster import run_fleet  # local: avoids cycle
+
+        outcome = run_fleet(scenario, suite=self.suite)
+        spec = WorkloadSpec(
+            applications=scenario.applications,
+            high_priority_index=scenario.high_priority_index,
+            workload_id=scenario.workload_id,
+        )
+        process_applications = dict(zip(spec.process_names(), spec.applications))
+        trace_summary = None
+        if scenario.trace:
+            from repro.telemetry.analytics import summarize  # local: keeps import cheap
+            from repro.telemetry.export import write_chrome_trace
+
+            artifacts = []
+            if trace_path is not None:
+                write_chrome_trace(
+                    outcome.trace_events, trace_path, end_us=outcome.simulated_time_us
+                )
+                artifacts.append(trace_path)
+            trace_summary = summarize(
+                outcome.trace_events,
+                now_us=outcome.simulated_time_us,
+                artifacts=artifacts,
+            )
+        return WorkloadResult(
+            spec=spec,
+            policy=scenario.scheme.policy,
+            mechanism=scenario.scheme.mechanism,
+            process_times_us={},
+            process_applications=process_applications,
+            metrics=MultiprogramMetrics(ntt={}, antt=0.0, stp=0.0, fairness=0.0),
+            engine_stats={},
+            simulated_time_us=outcome.simulated_time_us,
+            events_processed=outcome.events_processed,
+            validated=outcome.validated,
+            violations=outcome.violations,
+            trace_summary=trace_summary,
+            serving_summary=outcome.summary,
         )
 
     def _run_serving_scenario(

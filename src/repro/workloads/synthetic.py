@@ -356,6 +356,31 @@ def generate_synthetic_arrivals(seed: int, num_processes: int) -> tuple:
     return arrivals, slo
 
 
+#: Routers sampled by the cluster fuzzer dimension.
+CLUSTER_ROUTERS = ("round_robin", "least_loaded", "tenant_affinity", "priority_spill")
+
+
+def generate_synthetic_cluster(seed: int, horizon_us: float) -> dict:
+    """Derive a ``cluster=`` section for a fleet scenario.
+
+    Like the open-loop draws, every key is fresh (``cl_*``), so enabling the
+    cluster dimension never disturbs the closed- or open-loop draws of the
+    same seed.
+    """
+    router = _pick(CLUSTER_ROUTERS, seed, "cl_router")
+    router_options: dict = {}
+    if router == "priority_spill":
+        router_options["spill_margin"] = _int_between(2, 6, seed, "cl_margin")
+    if router in ("tenant_affinity", "priority_spill"):
+        router_options["seed"] = _int_between(0, 99, seed, "cl_affinity_seed")
+    return {
+        "num_gpus": _int_between(2, 5, seed, "cl_gpus"),
+        "router": router,
+        "router_options": router_options,
+        "epoch_us": round(horizon_us / _int_between(4, 10, seed, "cl_epochs"), 3),
+    }
+
+
 def generate_synthetic_scenario(
     seed: int,
     *,
@@ -368,6 +393,7 @@ def generate_synthetic_scenario(
     block_multiplier: int = 1,
     config_overrides: Optional[dict] = None,
     open_loop: bool = False,
+    cluster: bool = False,
 ) -> ScenarioSpec:
     """Derive one complete multiprogram scenario from an integer seed.
 
@@ -384,6 +410,11 @@ def generate_synthetic_scenario(
     rate, burstiness, admission policy, SLO budgets), turning the scenario
     into an open-loop serving run (see :mod:`repro.serving`); the draws use
     fresh hash keys, so closed-loop scenarios of the same seed are unchanged.
+
+    ``cluster`` (implies ``open_loop``) additionally adds a seed-derived
+    ``cluster=`` section (fleet size, router, epoch length), turning the
+    scenario into a multi-GPU fleet run (see :mod:`repro.cluster`); its
+    draws are likewise fresh-keyed.
     """
     if seed < 0:
         raise ValueError("seed must be non-negative")
@@ -401,9 +432,11 @@ def generate_synthetic_scenario(
     else:
         high_priority_index = None
         high_priority = 10
-    arrivals = slo = None
-    if open_loop:
+    arrivals = slo = cluster_section = None
+    if open_loop or cluster:
         arrivals, slo = generate_synthetic_arrivals(seed, num_processes)
+    if cluster:
+        cluster_section = generate_synthetic_cluster(seed, arrivals["horizon_us"])
     return ScenarioSpec(
         scheme=scheme if scheme is not None else generate_synthetic_scheme(seed),
         applications=applications,
@@ -418,6 +451,7 @@ def generate_synthetic_scenario(
         trace=trace,
         arrivals=arrivals,
         slo=slo,
+        cluster=cluster_section,
     )
 
 
@@ -472,8 +506,10 @@ __all__ = [
     "build_synthetic_trace",
     "generate_synthetic_scheme",
     "generate_synthetic_arrivals",
+    "generate_synthetic_cluster",
     "generate_synthetic_scenario",
     "generate_synthetic_scenarios",
     "ARRIVAL_KINDS",
     "ARRIVAL_ADMISSIONS",
+    "CLUSTER_ROUTERS",
 ]

@@ -1,0 +1,150 @@
+"""Unit tests for the cluster routers and the ROUTERS registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.routing import (
+    GPUView,
+    LeastLoadedRouter,
+    PrioritySpillRouter,
+    RoundRobinRouter,
+    TenantAffinityRouter,
+)
+from repro.registry import ROUTERS, UnknownComponentError
+from repro.serving.queue import Request
+
+
+def _request(tenant: str = "t0", priority: int = 0, request_id: int = 0) -> Request:
+    return Request(
+        request_id=request_id,
+        tenant=tenant,
+        kernel="k0",
+        priority=priority,
+        arrival_us=0.0,
+    )
+
+
+def _views(count: int) -> list:
+    return [GPUView(gpu_id=gpu_id) for gpu_id in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_names_and_aliases():
+    assert ROUTERS.names() == [
+        "least_loaded",
+        "priority_spill",
+        "round_robin",
+        "tenant_affinity",
+    ]
+    assert ROUTERS.canonical_name("rr") == "round_robin"
+    assert ROUTERS.canonical_name("ll") == "least_loaded"
+    assert ROUTERS.canonical_name("affinity") == "tenant_affinity"
+    assert ROUTERS.canonical_name("spill") == "priority_spill"
+
+
+def test_registry_rejects_unknown_router():
+    with pytest.raises(UnknownComponentError):
+        ROUTERS.canonical_name("weighted")
+
+
+def test_registry_creates_routers_with_options():
+    router = ROUTERS.create("priority_spill", threshold=2, spill_margin=3)
+    assert isinstance(router, PrioritySpillRouter)
+    assert router.threshold == 2
+    assert router.spill_margin == 3
+
+
+# ----------------------------------------------------------------------
+# round_robin
+# ----------------------------------------------------------------------
+def test_round_robin_cycles_through_members():
+    router = RoundRobinRouter()
+    views = _views(3)
+    placements = [router.route(_request(request_id=i), views) for i in range(7)]
+    assert placements == [0, 1, 2, 0, 1, 2, 0]
+
+
+# ----------------------------------------------------------------------
+# least_loaded
+# ----------------------------------------------------------------------
+def test_least_loaded_prefers_fewest_assignments():
+    views = _views(3)
+    views[0].assigned = 4
+    views[1].assigned = 1
+    views[2].assigned = 2
+    assert LeastLoadedRouter().route(_request(), views) == 1
+
+
+def test_least_loaded_breaks_assignment_ties_by_clock_then_id():
+    views = _views(3)
+    views[0].clock_us = 50.0
+    views[1].clock_us = 10.0
+    views[2].clock_us = 10.0
+    assert LeastLoadedRouter().route(_request(), views) == 1
+    views[1].clock_us = views[2].clock_us = 0.0
+    assert LeastLoadedRouter().route(_request(), views) == 1
+
+
+# ----------------------------------------------------------------------
+# tenant_affinity
+# ----------------------------------------------------------------------
+def test_tenant_affinity_is_stable_per_tenant():
+    router = TenantAffinityRouter()
+    views = _views(4)
+    homes = {
+        tenant: router.route(_request(tenant=tenant), views)
+        for tenant in ("a", "b", "c", "d", "e")
+    }
+    for tenant, home in homes.items():
+        # Load changes never move a tenant off its home.
+        views[home].assigned += 100
+        assert router.route(_request(tenant=tenant), views) == home
+    # The mapping spreads tenants (not everything on one GPU).
+    assert len(set(homes.values())) > 1
+
+
+def test_tenant_affinity_seed_reshuffles_homes():
+    views = _views(8)
+    tenants = [f"t{i}" for i in range(12)]
+    base = [TenantAffinityRouter(seed=0).route(_request(tenant=t), views) for t in tenants]
+    other = [TenantAffinityRouter(seed=7).route(_request(tenant=t), views) for t in tenants]
+    assert base != other
+
+
+# ----------------------------------------------------------------------
+# priority_spill
+# ----------------------------------------------------------------------
+def test_priority_spill_sends_high_priority_to_least_loaded():
+    router = PrioritySpillRouter(threshold=0, spill_margin=4)
+    views = _views(4)
+    home = TenantAffinityRouter().route(_request(tenant="hot"), views)
+    views[home].assigned = 2  # under the margin: normal traffic stays home
+    least = min(v.gpu_id for v in views if v.gpu_id != home)
+    assert router.route(_request(tenant="hot", priority=0), views) == home
+    assert router.route(_request(tenant="hot", priority=1), views) == least
+
+
+def test_priority_spill_keeps_normal_traffic_home_under_margin():
+    router = PrioritySpillRouter(threshold=0, spill_margin=4)
+    views = _views(4)
+    home = TenantAffinityRouter().route(_request(tenant="t"), views)
+    views[home].assigned = 3  # 3 ahead of everyone: under the margin
+    assert router.route(_request(tenant="t"), views) == home
+
+
+def test_priority_spill_spills_normal_traffic_at_margin():
+    router = PrioritySpillRouter(threshold=0, spill_margin=4)
+    views = _views(4)
+    home = TenantAffinityRouter().route(_request(tenant="t"), views)
+    views[home].assigned = 4  # exactly the margin ahead
+    placed = router.route(_request(tenant="t"), views)
+    assert placed != home
+    assert views[placed].assigned == 0
+
+
+def test_priority_spill_rejects_nonpositive_margin():
+    with pytest.raises(ValueError):
+        PrioritySpillRouter(spill_margin=0)

@@ -16,7 +16,7 @@ def test_parser_knows_every_experiment():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "figure2", "figure5", "figure6", "figure7", "figure8",
         "synthetic", "preemption_latency", "mechanism_choice", "scale",
-        "serving", "slo_preemption",
+        "serving", "fleet", "slo_preemption",
     }
 
 

@@ -8,6 +8,7 @@ import math
 import pytest
 
 from repro.serving.metrics import (
+    MIN_SERVICE_US,
     QUANTILES,
     P2Quantile,
     ReservoirSampler,
@@ -157,7 +158,36 @@ def test_sliding_window_counts_only_the_trailing_window():
     assert stats["completions"] == 1
     assert stats["mean_latency_us"] == 30.0
     assert stats["antt"] == 3.0
-    assert stats["throughput_rps"] == round(1 / 800.0 * 1e6, 3)
+    # The trailing window spans buckets [300, 1100) but only 700 µs of it
+    # has elapsed at t=1000 — throughput divides by the elapsed span.
+    assert stats["throughput_rps"] == round(1 / 700.0 * 1e6, 3)
+
+
+def test_sliding_window_prorates_partially_elapsed_newest_bucket():
+    """Regression: throughput divided by the full window even though the
+    newest bucket had barely started, under-reporting by up to 1/8."""
+    window = SlidingWindow(800.0)  # 8 buckets of 100 µs
+    for t in (850.0, 950.0, 1010.0):
+        window.record(t, 20.0, 2.0)
+    # At t=1010 the window covers [300, 1010): a 710 µs elapsed span.
+    stats = window.stats(1010.0)
+    assert stats["completions"] == 3
+    assert stats["throughput_rps"] == round(3 / 710.0 * 1e6, 3)
+
+
+def test_sliding_window_young_stream_divides_by_stream_age():
+    """A stream younger than the window pro-rates by its age, not the
+    window length (the old behavior under-reported 4x here)."""
+    window = SlidingWindow(800.0)
+    window.record(100.0, 10.0, 1.0)
+    stats = window.stats(200.0)
+    assert stats["completions"] == 1
+    assert stats["throughput_rps"] == round(1 / 200.0 * 1e6, 3)
+
+
+def test_sliding_window_zero_span_reports_zero_throughput():
+    window = SlidingWindow(800.0)
+    assert window.stats(0.0)["throughput_rps"] == 0.0
 
 
 def test_sliding_window_aggregates_within_the_window():
@@ -216,6 +246,27 @@ def test_serving_metrics_no_slo_budget_never_violates():
     summary = metrics.summary(now_us=50_000.0)
     assert summary["slo_violations_total"] == 0
     assert summary["tenants"]["a#0"]["slo_budget_us"] is None
+
+
+def test_serving_metrics_floors_zero_service_and_counts_it():
+    """Regression: a zero-duration kernel silently reported normalized=1.0,
+    deflating ANTT; it is now floored at one simulator tick and counted."""
+    metrics = ServingMetrics(tenants={"a#0": None}, window_us=1000.0)
+    # Service time is zero: admit == complete, 10 µs of queueing latency.
+    metrics.record_completion("a#0", arrival_us=0.0, admit_us=10.0, complete_us=10.0)
+    assert metrics.zero_service == 1
+    stats = metrics.window.stats(10.0)
+    assert stats["antt"] == round(10.0 / MIN_SERVICE_US, 3)
+    summary = metrics.summary(now_us=10.0)
+    assert summary["zero_service"] == 1
+
+
+def test_serving_metrics_zero_service_counter_survives_state_round_trip():
+    metrics = ServingMetrics(tenants={"a#0": None}, window_us=1000.0)
+    metrics.record_completion("a#0", arrival_us=0.0, admit_us=5.0, complete_us=5.0)
+    restored = ServingMetrics.restore(json.loads(json.dumps(metrics.state())))
+    assert restored.zero_service == 1
+    assert restored.state() == metrics.state()
 
 
 def test_serving_metrics_unknown_tenant_rejected():

@@ -55,6 +55,21 @@ def test_drop_oldest_policy_evicts_worst_priority_oldest():
     assert [queue.pop().request_id for _ in range(2)] == [2, 0]
 
 
+def test_drop_oldest_low_priority_newcomer_is_its_own_victim():
+    """Regression: a newcomer ranking below every queued request used to
+    evict a queued request that *outranked* it (priority inversion).  The
+    arriving request is part of the victim pool and is dropped itself."""
+    queue = IngressQueue(capacity=2, admission="drop_oldest")
+    queue.offer(_request(0, priority=5))
+    queue.offer(_request(1, priority=3))
+    dropped = queue.offer(_request(2, priority=0))
+    assert dropped is not None and dropped.request_id == 2
+    assert len(queue) == 2
+    assert [queue.pop().request_id for _ in range(2)] == [0, 1]
+    assert queue.counters.arrived == 3
+    assert queue.counters.dropped == 1
+
+
 def test_drop_oldest_breaks_priority_ties_by_age():
     queue = IngressQueue(capacity=2, admission="drop_oldest")
     queue.offer(_request(0, priority=0))

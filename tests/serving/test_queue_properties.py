@@ -1,0 +1,117 @@
+"""Property tests for :class:`IngressQueue` across every admission policy.
+
+A simple list-based reference model implements the admission/dispatch spec
+directly; hypothesis drives arbitrary offer/pop interleavings against both
+implementations and checks:
+
+* capacity — ``len(queue) <= capacity`` at all times under ``drop`` and
+  ``drop_oldest`` (``block`` may exceed it, but counts backpressure),
+* conservation — ``arrived == admitted + dropped + len(queue)`` after any
+  interleaving,
+* dispatch order — pops come out priority-then-FIFO, byte-identical to the
+  reference model (including which request each eviction drops).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serving.queue import ADMISSION_POLICIES, IngressQueue, Request
+
+
+class _ReferenceQueue:
+    """O(n)-per-op reference implementation of the admission contract."""
+
+    def __init__(self, capacity: int, admission: str):
+        self.capacity = capacity
+        self.admission = admission
+        self.queue = []  # (priority, seq, request_id) in arrival order
+        self.seq = 0
+        self.arrived = self.admitted = self.dropped = 0
+        self.backpressure = 0
+
+    def offer(self, priority: int, request_id: int):
+        self.arrived += 1
+        entry = (priority, self.seq, request_id)
+        self.seq += 1
+        if len(self.queue) >= self.capacity:
+            if self.admission == "drop":
+                self.dropped += 1
+                return request_id
+            if self.admission == "drop_oldest":
+                # Victim: lowest priority, oldest within it — the arriving
+                # request (the youngest candidate) is part of the pool.
+                victim = min(self.queue + [entry], key=lambda e: (e[0], e[1]))
+                self.dropped += 1
+                if victim is entry:
+                    return request_id
+                self.queue.remove(victim)
+                self.queue.append(entry)
+                return victim[2]
+            self.backpressure += 1  # block
+        self.queue.append(entry)
+        return None
+
+    def pop(self):
+        if not self.queue:
+            return None
+        best = min(self.queue, key=lambda e: (-e[0], e[1]))
+        self.queue.remove(best)
+        self.admitted += 1
+        return best[2]
+
+
+def _request(request_id: int, priority: int) -> Request:
+    return Request(
+        request_id=request_id,
+        tenant=f"t#{request_id % 3}",
+        kernel="k",
+        priority=priority,
+        arrival_us=float(request_id),
+    )
+
+
+#: One op: ``None`` pops, an int offers a request with that priority.
+_OPS = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+    max_size=120,
+)
+
+
+@pytest.mark.parametrize("admission", ADMISSION_POLICIES)
+@settings(max_examples=150, deadline=None)
+@given(capacity=st.integers(min_value=1, max_value=5), ops=st.data())
+def test_queue_matches_reference_model(admission, capacity, ops):
+    sequence = ops.draw(_OPS)
+    queue = IngressQueue(capacity=capacity, admission=admission)
+    reference = _ReferenceQueue(capacity, admission)
+    for op_index, op in enumerate(sequence):
+        if op is None:
+            popped = queue.pop()
+            expected = reference.pop()
+            assert (popped.request_id if popped else None) == expected
+        else:
+            dropped = queue.offer(_request(op_index, op))
+            expected = reference.offer(op, op_index)
+            assert (dropped.request_id if dropped else None) == expected
+        # Capacity invariant (block intentionally grows past capacity).
+        if admission in ("drop", "drop_oldest"):
+            assert len(queue) <= capacity
+        # Conservation after every op.
+        counters = queue.counters
+        assert counters.arrived == (
+            counters.admitted + counters.dropped + len(queue)
+        )
+        assert len(queue) == len(reference.queue)
+    assert queue.counters.arrived == reference.arrived
+    assert queue.counters.admitted == reference.admitted
+    assert queue.counters.dropped == reference.dropped
+    assert queue.counters.backpressure_events == reference.backpressure
+    # Draining dispatches the leftovers priority-then-FIFO, matching the
+    # reference model's pop order exactly.
+    drained = [request.request_id for request in queue.drain()]
+    expected = []
+    while reference.queue:
+        expected.append(reference.pop())
+    assert drained == expected

@@ -67,6 +67,57 @@ class TestCompareBench:
         assert "share no presets" in err
         assert "regressed" in err
 
+    def test_combine_candidates_best_takes_the_fastest_run(self, compare_bench):
+        runs = [
+            {"a": {"events_per_sec": 90_000}, "b": {"events_per_sec": 50_000}},
+            {"a": {"events_per_sec": 110_000}},
+            {"a": {"events_per_sec": 100_000}, "b": {"events_per_sec": 70_000}},
+        ]
+        combined = compare_bench.combine_candidates(runs)
+        assert combined["a"]["events_per_sec"] == 110_000
+        assert combined["b"]["events_per_sec"] == 70_000
+
+    def test_combine_candidates_median_is_noise_resistant(self, compare_bench):
+        runs = [
+            {"a": {"events_per_sec": 90_000}},
+            {"a": {"events_per_sec": 1_000_000}},  # one wild outlier
+            {"a": {"events_per_sec": 100_000}},
+        ]
+        combined = compare_bench.combine_candidates(runs, stat="median")
+        assert combined["a"]["events_per_sec"] == 100_000
+
+    def test_combine_candidates_rejects_unknown_stat(self, compare_bench):
+        with pytest.raises(ValueError):
+            compare_bench.combine_candidates([{}], stat="mean")
+
+    def test_main_combines_multiple_candidates_best_of_n(
+        self, compare_bench, tmp_path, capsys
+    ):
+        base = _bench_file(tmp_path / "base.json", {"a": {"events_per_sec": 100_000}})
+        slow = _bench_file(tmp_path / "slow.json", {"a": {"events_per_sec": 10_000}})
+        fast = _bench_file(tmp_path / "fast.json", {"a": {"events_per_sec": 99_000}})
+        # Best-of-N: one good run among several rescues the gate...
+        assert compare_bench.main([base, slow, fast]) == 0
+        # ...median does not, when most runs are slow.
+        assert compare_bench.main([base, slow, slow, fast, "--stat", "median"]) == 1
+        capsys.readouterr()
+
+    def test_fleet_bench_section_is_gated(self, compare_bench, tmp_path):
+        path = tmp_path / "fleet.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "fleet_bench": {
+                        "schema": 1,
+                        "results": {"fleet_serial": {"events_per_sec": 42}},
+                    }
+                },
+                handle,
+            )
+        assert compare_bench.load_results(str(path)) == {
+            "fleet_serial": {"events_per_sec": 42}
+        }
+
     def test_bare_payload_files_load(self, compare_bench, tmp_path):
         bare = _bench_file(
             tmp_path / "bare.json", {"a": {"events_per_sec": 5}}, bare=True
