@@ -84,6 +84,12 @@ class FleetOutcome:
     validated: bool
     violations: List[Dict]
     trace_events: List[TraceEvent] = field(default_factory=list)
+    #: Per-epoch metrics snapshot rows (``None`` when metrics are off).
+    metrics_rows: Optional[List[Dict[str, Any]]] = None
+    #: Final metric values (``None`` when metrics are off).
+    metrics_snapshot: Optional[Dict[str, float]] = None
+    #: Hub meta (router, fleet size, ...) for the JSONL exporter header.
+    metrics_meta: Optional[Dict[str, Any]] = None
 
 
 class GPUFleet:
@@ -147,6 +153,26 @@ class GPUFleet:
         self.violations: List[Dict] = []
         self.trace_events: List[TraceEvent] = []
         self._trace_seq = 0
+
+        #: Metrics hub (``None`` unless the scenario enables metrics).  Fleet
+        #: members execute inside worker processes, so the hub samples the
+        #: centrally-merged views and cuts one row per epoch boundary — the
+        #: fleet's natural snapshot cadence — instead of hooking an engine.
+        self.obs = None
+        if scenario.metrics is not None:
+            from repro.obs import MetricsHub, attach_fleet_metrics  # local: cheap
+
+            hub = MetricsHub.from_spec(scenario.metrics)
+            hub.meta.update(
+                {
+                    "policy": scenario.scheme.policy,
+                    "mechanism": scenario.scheme.mechanism,
+                    "router": self.cluster.router,
+                    "num_gpus": self.cluster.num_gpus,
+                }
+            )
+            attach_fleet_metrics(hub, self)
+            self.obs = hub
 
     # ------------------------------------------------------------------
     # Arrival generation (epoch granularity)
@@ -228,6 +254,8 @@ class GPUFleet:
         bounds.append(horizon)
         for bound in bounds:
             self._run_epoch(bound)
+            if self.obs is not None:
+                self.obs.emit_row(bound)
         return self
 
     def _run_epoch(self, bound_us: float) -> None:
@@ -371,6 +399,9 @@ def run_fleet(
         validated=scenario.validate,
         violations=fleet.violations,
         trace_events=fleet.trace_events,
+        metrics_rows=None if fleet.obs is None else list(fleet.obs.rows),
+        metrics_snapshot=None if fleet.obs is None else fleet.obs.registry.snapshot(),
+        metrics_meta=None if fleet.obs is None else dict(fleet.obs.meta),
     )
 
 

@@ -44,6 +44,15 @@ class ExperimentConfig:
     #: Directory for per-scenario Chrome trace artifacts (``None`` keeps
     #: traced runs summary-only).  Only used when ``trace`` is enabled.
     trace_dir: Optional[str] = None
+    #: Attach the metrics hub to every simulated run.  Like validation and
+    #: telemetry, metrics observe, never perturb: results stay byte-identical.
+    metrics: bool = False
+    #: Sim-time snapshot interval in microseconds (``None`` = hub default).
+    #: Only used when ``metrics`` is enabled.
+    metrics_interval_us: Optional[float] = None
+    #: Directory for per-scenario metrics JSONL series (``None`` keeps
+    #: metric runs in-memory only).  Only used when ``metrics`` is enabled.
+    metrics_dir: Optional[str] = None
 
     def workload_scale(self) -> WorkloadScale:
         """The resolved workload scale preset."""
@@ -54,12 +63,27 @@ class ExperimentConfig:
         return WorkloadRunner(scale=self.workload_scale(), config=config)
 
     def make_batch_runner(self) -> "BatchRunner":
-        """Create a batch runner honouring ``jobs`` (and ``trace_dir``)."""
+        """Create a batch runner honouring ``jobs`` (and artifact dirs)."""
         from repro.runner import BatchRunner  # local: keeps import cheap
 
         return BatchRunner(
-            jobs=self.jobs, trace_dir=self.trace_dir if self.trace else None
+            jobs=self.jobs,
+            trace_dir=self.trace_dir if self.trace else None,
+            metrics_dir=self.metrics_dir if self.metrics else None,
         )
+
+    def metrics_spec(self) -> Optional[dict]:
+        """The ``ScenarioSpec.metrics`` mapping for this configuration.
+
+        ``None`` when metrics are disabled, so scenario construction can pass
+        the result straight through: ``metrics=config.metrics_spec()``.
+        """
+        if not self.metrics:
+            return None
+        spec: dict = {}
+        if self.metrics_interval_us is not None:
+            spec["interval_us"] = self.metrics_interval_us
+        return spec
 
     @classmethod
     def smoke(cls) -> "ExperimentConfig":

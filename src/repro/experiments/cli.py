@@ -147,8 +147,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print wall time, simulator events processed and events/sec to stderr "
-        "after the run (stdout stays byte-identical; composes with "
-        "--validate/--trace; event totals cover the instrumented scenario runs)",
+        "after the run, followed by a per-phase breakdown (one phase per "
+        "experiment or shared data collection); stdout stays byte-identical; "
+        "composes with --validate/--trace/--metrics; event totals cover the "
+        "instrumented scenario runs, including serving and fleet runs",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach the runtime metrics hub (repro.obs) to every simulated run: "
+        "counters/gauges/histograms snapshotted on sim-time boundaries; "
+        "per-scenario JSONL series go to --metrics-out and a one-line summary "
+        "is printed to stderr (printed results are byte-identical)",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="US",
+        help="sim-time snapshot interval in microseconds (default: hub default; "
+        "only used with --metrics)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default="metrics",
+        metavar="DIR",
+        help="directory for per-scenario metrics JSONL series (default: metrics; "
+        "only used with --metrics)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead of tables"
@@ -183,13 +208,26 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
     updates["trace"] = bool(getattr(args, "trace", False))
     if updates["trace"]:
         updates["trace_dir"] = getattr(args, "trace_dir", None)
+    updates["metrics"] = bool(getattr(args, "metrics", False))
+    if updates["metrics"]:
+        interval = getattr(args, "metrics_interval", None)
+        if interval is not None:
+            if interval <= 0:
+                raise ValueError("--metrics-interval must be a positive number")
+            updates["metrics_interval_us"] = interval
+        updates["metrics_dir"] = getattr(args, "metrics_out", None)
+    elif getattr(args, "metrics_interval", None) is not None:
+        raise ValueError("--metrics-interval requires --metrics")
     import dataclasses
 
     return dataclasses.replace(base, **updates)
 
 
 def run_selected(
-    names: List[str], config: ExperimentConfig
+    names: List[str],
+    config: ExperimentConfig,
+    *,
+    profiler: Optional["PhaseProfiler"] = None,
 ) -> Tuple[List[ExperimentResult], int, Tuple[int, int], int]:
     """Run the selected experiments, sharing simulation data where possible.
 
@@ -201,10 +239,23 @@ def run_selected(
     and the total simulator events processed across the instrumented scenario
     runs (the shared figure caches plus record-based experiments; consumed by
     ``--profile``).
+
+    ``profiler`` (a :class:`repro.obs.PhaseProfiler`) records one phase per
+    experiment and per shared data collection; each phase carries the
+    simulator events it processed, so serving and fleet runs show up with
+    real event counts, not zeros.
     """
+    if profiler is None:
+        from repro.obs import PhaseProfiler  # local: keeps import cheap
+
+        profiler = PhaseProfiler()
     results: List[ExperimentResult] = []
     priority_cache = None
     dss_cache = None
+
+    def _cache_events(cache) -> int:
+        return sum(r.events_processed for r in cache.results.values())
+
     for name in names:
         started = time.time()
         if name == "figure5":
@@ -214,22 +265,36 @@ def run_selected(
                     if "figure6" in names
                     else priority_data.FIGURE5_SCHEMES
                 )
-                priority_cache = priority_data.collect(config, schemes=schemes)
-            result = figure5.run(config, data=priority_cache)
+                with profiler.phase("priority_data") as record:
+                    priority_cache = priority_data.collect(config, schemes=schemes)
+                    record.events = _cache_events(priority_cache)
+            with profiler.phase(name):
+                result = figure5.run(config, data=priority_cache)
         elif name == "figure6":
             if priority_cache is None:
-                priority_cache = priority_data.collect(config)
-            result = figure6.run(config, data=priority_cache)
+                with profiler.phase("priority_data") as record:
+                    priority_cache = priority_data.collect(config)
+                    record.events = _cache_events(priority_cache)
+            with profiler.phase(name):
+                result = figure6.run(config, data=priority_cache)
         elif name == "figure7":
             if dss_cache is None:
-                dss_cache = dss_data.collect(config)
-            result = figure7.run(config, data=dss_cache)
+                with profiler.phase("dss_data") as record:
+                    dss_cache = dss_data.collect(config)
+                    record.events = _cache_events(dss_cache)
+            with profiler.phase(name):
+                result = figure7.run(config, data=dss_cache)
         elif name == "figure8":
             if dss_cache is None:
-                dss_cache = dss_data.collect(config)
-            result = figure8.run(config, data=dss_cache)
+                with profiler.phase("dss_data") as record:
+                    dss_cache = dss_data.collect(config)
+                    record.events = _cache_events(dss_cache)
+            with profiler.phase(name):
+                result = figure8.run(config, data=dss_cache)
         else:
-            result = EXPERIMENTS[name](config)
+            with profiler.phase(name) as record:
+                result = EXPERIMENTS[name](config)
+                record.events = result.events_processed
         result.notes.append(f"Wall-clock time: {time.time() - started:.1f} s")
         results.append(result)
     # Violations and trace totals live in three places: the shared figure
@@ -309,11 +374,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
-    run_started = time.perf_counter()
+    from repro.obs import PhaseProfiler  # local: keeps import cheap
+
+    profiler = PhaseProfiler()
     results, violation_total, (traced_runs, trace_events), events_total = run_selected(
-        names, config
+        names, config, profiler=profiler
     )
-    run_wall_s = time.perf_counter() - run_started
     if args.json:
         text = json.dumps([result.to_dict() for result in results], indent=2)
     else:
@@ -327,14 +393,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write(text + "\n")
     if args.profile:
         # stderr only: stdout stays byte-identical so enabling --profile never
-        # perturbs archived results.  One line, composing with --validate and
-        # --trace (each keeps its own line).
-        rate = events_total / run_wall_s if run_wall_s > 0 else 0.0
-        print(
-            f"profile: wall {run_wall_s:.2f} s, {events_total} event(s) processed, "
-            f"{rate:,.0f} events/s",
-            file=sys.stderr,
-        )
+        # perturbs archived results.  First line keeps the legacy single-line
+        # shape; per-phase lines follow.  Composes with --validate, --trace
+        # and --metrics (each keeps its own line).
+        print(profiler.format(total_events=events_total), file=sys.stderr)
+    if args.metrics:
+        # stderr only, same contract as --trace: stdout stays byte-identical.
+        summary = f"metrics: {len(results)} experiment(s) instrumented"
+        if config.metrics_dir and os.path.isdir(config.metrics_dir):
+            summary += f" -> {config.metrics_dir}"
+        print(summary, file=sys.stderr)
     if args.trace or traced_runs:
         # stderr only: stdout stays byte-identical so enabling --trace never
         # perturbs archived results.  One line, composing with --validate.

@@ -85,6 +85,7 @@ def collect(
                         scale=config.scale,
                         validate=config.validate,
                         trace=config.trace,
+                        metrics=config.metrics_spec(),
                     )
                 )
 

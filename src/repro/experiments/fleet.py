@@ -55,6 +55,7 @@ def fleet_scenario(
         scale=config.scale,
         validate=config.validate,
         trace=config.trace,
+        metrics=config.metrics_spec(),
         arrivals={
             "horizon_us": horizon,
             "warmup_us": horizon / 8.0,

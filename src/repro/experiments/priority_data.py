@@ -146,6 +146,7 @@ def collect(
                         scale=config.scale,
                         validate=config.validate,
                         trace=config.trace,
+                        metrics=config.metrics_spec(),
                     )
                 )
 

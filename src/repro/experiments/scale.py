@@ -49,6 +49,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             scale=config.scale,
             validate=config.validate,
             trace=config.trace,
+            metrics=config.metrics_spec(),
         )
         # Warm the isolated baselines (the denominators of the multiprogram
         # metrics) outside the timed region: the wall-clock column measures

@@ -70,6 +70,7 @@ def serving_scenario(
         config_overrides=config_overrides or {},
         validate=config.validate,
         trace=config.trace,
+        metrics=config.metrics_spec(),
         arrivals={
             "horizon_us": horizon,
             "warmup_us": horizon / 8.0,

@@ -30,6 +30,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         scale=config.scale,
         validate=config.validate,
         trace=config.trace,
+        metrics=config.metrics_spec(),
     )
     records: List[RunRecord] = config.make_batch_runner().run(scenarios)
 

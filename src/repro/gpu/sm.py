@@ -75,6 +75,9 @@ class Wave:
         # events, which the scale benchmark uses to convert raw event counts
         # into block-equivalent throughput.
         entries[0][0].completion_waves_fired += 1
+        hist = entries[0][0].metrics_wave_hist
+        if hist is not None:
+            hist.observe(len(entries))
         n = len(entries)
         i = 0
         while i < n:
@@ -174,6 +177,12 @@ class StreamingMultiprocessor:
         #: Observers are notified of block start/completion/eviction and SM
         #: configure/release; they must never mutate simulation state.
         self.observer: Optional[object] = None
+
+        #: Optional :class:`repro.obs.LogHistogram` fed one sample per fired
+        #: wave (the wave size in blocks).  A None-gated raw attribute, not
+        #: an observer: attaching an observer disables the wave batch fast
+        #: path, while this hook rides the existing per-wave counter update.
+        self.metrics_wave_hist = None
 
         self.utilization = UtilizationTracker(simulator.now)
         self.blocks_executed = 0

@@ -1,0 +1,77 @@
+"""Heartbeat/health reporting for long serving runs.
+
+A :class:`HealthReporter` subscribes to a hub's snapshot rows
+(:meth:`~repro.obs.hub.MetricsHub.add_row_listener`) and emits one
+human-readable line per row: simulated progress against the horizon,
+offered-vs-served request counts and rate, a wall-clock ETA extrapolated
+from progress so far, and the age of the last checkpoint.  Lines go to
+stderr (or any stream handed in) — never stdout, which must stay
+byte-identical with metrics off.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Mapping, Optional, TextIO
+
+
+class HealthReporter:
+    """Render per-snapshot heartbeat lines for an open-loop serving run."""
+
+    def __init__(
+        self,
+        *,
+        horizon_us: float,
+        stream: Optional[TextIO] = None,
+        clock=time.perf_counter,
+    ):
+        if horizon_us <= 0:
+            raise ValueError(f"horizon_us must be positive (got {horizon_us})")
+        self.horizon_us = float(horizon_us)
+        self.stream = stream
+        self._clock = clock
+        self._wall_start = clock()
+        self._last_checkpoint_us: Optional[float] = None
+        self.lines_emitted = 0
+
+    def note_checkpoint(self, sim_us: float) -> None:
+        """Record that a checkpoint was cut at simulation time ``sim_us``."""
+        self._last_checkpoint_us = float(sim_us)
+
+    # ------------------------------------------------------------------
+    # Row listener
+    # ------------------------------------------------------------------
+    def heartbeat(self, row: Mapping[str, Any]) -> str:
+        """Render (and write, if a stream is attached) one heartbeat line."""
+        line = self.render(row)
+        stream = self.stream if self.stream is not None else sys.stderr
+        stream.write(line + "\n")
+        self.lines_emitted += 1
+        return line
+
+    def render(self, row: Mapping[str, Any]) -> str:
+        t_us = float(row["t_us"])
+        metrics = row.get("metrics", {})
+        offered = metrics.get("serving.arrived", 0)
+        served = metrics.get("serving.completed", 0)
+        progress = min(1.0, t_us / self.horizon_us)
+        wall_s = self._clock() - self._wall_start
+        if 0.0 < progress < 1.0:
+            eta = f"{wall_s * (1.0 - progress) / progress:.1f}s"
+        elif progress >= 1.0:
+            eta = "0.0s"
+        else:
+            eta = "?"
+        served_rate = served / t_us * 1e6 if t_us > 0 else 0.0
+        parts = [
+            f"health: t={t_us:g}us ({progress:.0%} of horizon)",
+            f"offered={offered:g} served={served:g} ({served_rate:,.0f} req/s)",
+            f"wall={wall_s:.1f}s eta={eta}",
+        ]
+        if self._last_checkpoint_us is not None:
+            parts.append(f"ckpt_age={max(0.0, t_us - self._last_checkpoint_us):g}us")
+        return " ".join(parts)
+
+
+__all__ = ["HealthReporter"]

@@ -244,6 +244,10 @@ def _load_builtin_routers() -> None:
     import repro.cluster.routing  # noqa: F401
 
 
+def _load_builtin_exporters() -> None:
+    import repro.obs.exporters  # noqa: F401
+
+
 POLICIES = ComponentRegistry("scheduling policy", _load_builtin_policies)
 MECHANISMS = ComponentRegistry("preemption mechanism", _load_builtin_mechanisms)
 CONTROLLERS = ComponentRegistry("preemption controller", _load_builtin_controllers)
@@ -252,6 +256,7 @@ TRANSFER_POLICIES = ComponentRegistry(
 )
 ARRIVALS = ComponentRegistry("arrival process", _load_builtin_arrivals)
 ROUTERS = ComponentRegistry("cluster router", _load_builtin_routers)
+EXPORTERS = ComponentRegistry("metrics exporter", _load_builtin_exporters)
 
 
 def register_policy(name: str, *aliases: str, **kwargs):
@@ -279,6 +284,11 @@ def register_arrival(name: str, *aliases: str, **kwargs):
     return ARRIVALS.register(name, *aliases, **kwargs)
 
 
+def register_exporter(name: str, *aliases: str, **kwargs):
+    """Register a metrics snapshot exporter (decorator)."""
+    return EXPORTERS.register(name, *aliases, **kwargs)
+
+
 def register_router(name: str, *aliases: str, **kwargs):
     """Register a cluster request router (decorator)."""
     return ROUTERS.register(name, *aliases, **kwargs)
@@ -295,10 +305,12 @@ __all__ = [
     "TRANSFER_POLICIES",
     "ARRIVALS",
     "ROUTERS",
+    "EXPORTERS",
     "register_policy",
     "register_mechanism",
     "register_controller",
     "register_transfer_policy",
     "register_arrival",
     "register_router",
+    "register_exporter",
 ]

@@ -118,17 +118,32 @@ class RunRecord:
 
 
 def execute_scenario(
-    scenario: ScenarioSpec, *, trace_path: Optional[str] = None
+    scenario: ScenarioSpec,
+    *,
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
 ) -> RunRecord:
     """Run one scenario in this process (the unit of work of a batch)."""
-    result = runner_for(scenario).run_scenario(scenario, trace_path=trace_path)
+    result = runner_for(scenario).run_scenario(
+        scenario, trace_path=trace_path, metrics_path=metrics_path
+    )
     return RunRecord(scenario=scenario, result=result)
 
 
-def _execute_payload(payload: Tuple[Dict[str, Any], Optional[str]]) -> RunRecord:
+def _execute_payload(
+    payload: Tuple[Dict[str, Any], Optional[str], Optional[str]]
+) -> RunRecord:
     """Worker-side entry point: rebuild the spec from its dict form and run."""
-    scenario_dict, trace_path = payload
-    return execute_scenario(ScenarioSpec.from_dict(scenario_dict), trace_path=trace_path)
+    scenario_dict, trace_path, metrics_path = payload
+    return execute_scenario(
+        ScenarioSpec.from_dict(scenario_dict),
+        trace_path=trace_path,
+        metrics_path=metrics_path,
+    )
+
+
+def _scenario_slug(scenario: ScenarioSpec) -> str:
+    return re.sub(r"[^a-zA-Z0-9_.-]+", "-", scenario.describe()).strip("-").lower()
 
 
 def trace_artifact_path(trace_dir: str, index: int, scenario: ScenarioSpec) -> str:
@@ -138,8 +153,19 @@ def trace_artifact_path(trace_dir: str, index: int, scenario: ScenarioSpec) -> s
     serial and parallel runs of the same batch export identical artifact
     sets.
     """
-    slug = re.sub(r"[^a-zA-Z0-9_.-]+", "-", scenario.describe()).strip("-").lower()
-    return os.path.join(trace_dir, f"{index:04d}-{slug}.trace.json")
+    return os.path.join(trace_dir, f"{index:04d}-{_scenario_slug(scenario)}.trace.json")
+
+
+def metrics_artifact_path(metrics_dir: str, index: int, scenario: ScenarioSpec) -> str:
+    """Deterministic per-scenario metrics JSONL path inside ``metrics_dir``.
+
+    Same construction as :func:`trace_artifact_path`: batch position plus the
+    scenario description, so serial and parallel runs export identical
+    snapshot series files.
+    """
+    return os.path.join(
+        metrics_dir, f"{index:04d}-{_scenario_slug(scenario)}.metrics.jsonl"
+    )
 
 
 class BatchRunner:
@@ -168,12 +194,14 @@ class BatchRunner:
         jobs: Optional[int] = 1,
         chunksize: Optional[int] = None,
         trace_dir: Optional[str] = None,
+        metrics_dir: Optional[str] = None,
     ):
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
         self.chunksize = chunksize
         self.trace_dir = trace_dir
+        self.metrics_dir = metrics_dir
         #: Persistent pool behind :meth:`map_tasks` (lazily created/probed).
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_failed = False
@@ -191,23 +219,41 @@ class BatchRunner:
             os.makedirs(self.trace_dir, exist_ok=True)
         return paths
 
+    def _metrics_paths(self, scenarios: List[ScenarioSpec]) -> List[Optional[str]]:
+        if self.metrics_dir is None:
+            return [None] * len(scenarios)
+        paths = [
+            metrics_artifact_path(self.metrics_dir, index, scenario)
+            if scenario.metrics is not None
+            else None
+            for index, scenario in enumerate(scenarios)
+        ]
+        if any(path is not None for path in paths):
+            os.makedirs(self.metrics_dir, exist_ok=True)
+        return paths
+
     def run(self, scenarios: Iterable[ScenarioSpec]) -> List[RunRecord]:
         """Run every scenario and return records in the input order."""
         scenarios = list(scenarios)
         trace_paths = self._trace_paths(scenarios)
+        metrics_paths = self._metrics_paths(scenarios)
         if self.jobs == 1 or len(scenarios) < 2:
             return [
-                execute_scenario(scenario, trace_path=path)
-                for scenario, path in zip(scenarios, trace_paths)
+                execute_scenario(scenario, trace_path=path, metrics_path=mpath)
+                for scenario, path, mpath in zip(scenarios, trace_paths, metrics_paths)
             ]
-        return self._run_parallel(scenarios, trace_paths)
+        return self._run_parallel(scenarios, trace_paths, metrics_paths)
 
     def _run_parallel(
-        self, scenarios: List[ScenarioSpec], trace_paths: List[Optional[str]]
+        self,
+        scenarios: List[ScenarioSpec],
+        trace_paths: List[Optional[str]],
+        metrics_paths: List[Optional[str]],
     ) -> List[RunRecord]:
         workers = min(self.jobs, len(scenarios))
         payloads = [
-            (scenario.to_dict(), path) for scenario, path in zip(scenarios, trace_paths)
+            (scenario.to_dict(), path, mpath)
+            for scenario, path, mpath in zip(scenarios, trace_paths, metrics_paths)
         ]
         chunksize = self.chunksize
         if chunksize is None:
@@ -215,7 +261,7 @@ class BatchRunner:
         try:
             executor = ProcessPoolExecutor(max_workers=workers)
         except OSError as exc:  # pragma: no cover - sandboxed hosts
-            return self._serial_fallback(scenarios, trace_paths, exc)
+            return self._serial_fallback(scenarios, trace_paths, metrics_paths, exc)
         with executor:
             try:
                 # Probe that workers can actually spawn (sandboxes may allow
@@ -223,7 +269,7 @@ class BatchRunner:
                 # committing the real grid to it.
                 executor.submit(int).result()
             except OSError as exc:  # pragma: no cover - sandboxed hosts
-                return self._serial_fallback(scenarios, trace_paths, exc)
+                return self._serial_fallback(scenarios, trace_paths, metrics_paths, exc)
             # Worker errors (including OSError raised *by a scenario*) now
             # propagate: discarding completed work to re-run a long grid
             # serially would be far costlier than failing fast.
@@ -296,6 +342,7 @@ class BatchRunner:
     def _serial_fallback(
         scenarios: List[ScenarioSpec],
         trace_paths: List[Optional[str]],
+        metrics_paths: List[Optional[str]],
         exc: BaseException,
     ) -> List[RunRecord]:  # pragma: no cover - sandboxed hosts
         warnings.warn(
@@ -304,8 +351,8 @@ class BatchRunner:
             stacklevel=3,
         )
         return [
-            execute_scenario(scenario, trace_path=path)
-            for scenario, path in zip(scenarios, trace_paths)
+            execute_scenario(scenario, trace_path=path, metrics_path=mpath)
+            for scenario, path, mpath in zip(scenarios, trace_paths, metrics_paths)
         ]
 
 
@@ -315,4 +362,5 @@ __all__ = [
     "execute_scenario",
     "runner_for",
     "trace_artifact_path",
+    "metrics_artifact_path",
 ]

@@ -307,6 +307,13 @@ class ScenarioSpec:
     #: keys.  Requires an ``arrivals=`` section: the fleet serves the same
     #: open-loop request streams, routed across member GPUs.
     cluster: Optional[Mapping[str, Any]] = None
+    #: Runtime-observability configuration (``None`` = metrics off).  A
+    #: mapping with optional ``interval_us`` (snapshot cadence in simulated
+    #: µs), ``heartbeat`` and ``histogram_growth`` keys; see
+    #: :func:`repro.obs.resolve_metrics_spec`.  The metrics layer observes,
+    #: never perturbs: run results are byte-identical with metrics on or
+    #: off; snapshot series are exported as separate JSONL artifacts.
+    metrics: Optional[Mapping[str, Any]] = None
 
     __hash__ = None  # type: ignore[assignment]
 
@@ -337,6 +344,11 @@ class ScenarioSpec:
             object.__setattr__(self, "cluster", _canonicalize(dict(self.cluster)))
             if self.arrivals is None:
                 raise ValueError("cluster= fleets require an arrivals= section")
+        if self.metrics is not None:
+            if self.metrics is True:  # accept the CLI's bare-flag shorthand
+                object.__setattr__(self, "metrics", {})
+            else:
+                object.__setattr__(self, "metrics", _canonicalize(dict(self.metrics)))
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -402,7 +414,7 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (JSON-serialisable)."""
-        return {
+        payload = {
             "scheme": self.scheme.to_dict(),
             "applications": list(self.applications),
             "high_priority_index": self.high_priority_index,
@@ -420,6 +432,11 @@ class ScenarioSpec:
             "slo": None if self.slo is None else dict(self.slo),
             "cluster": None if self.cluster is None else dict(self.cluster),
         }
+        # Omitted when disabled so pre-observability scenario dicts (golden
+        # fixtures, archived payloads) stay byte-identical.
+        if self.metrics is not None:
+            payload["metrics"] = dict(self.metrics)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":

@@ -260,6 +260,7 @@ class ServingDriver:
             policy_options=options or None,
             validate=scenario.validate,
             trace=scenario.trace,
+            metrics=scenario.metrics,
             start_time_us=start_us,
         )
         #: Observer target, kept in sync by ``GPUSystem._rewire_observers``.
@@ -330,6 +331,25 @@ class ServingDriver:
         self._stopped_for_checkpoint = False
         #: True once the run reached the horizon and drained (vs. quiesced).
         self.complete = False
+
+        #: Heartbeat reporter (``None`` unless ``metrics={"heartbeat": ...}``).
+        self.health = None
+        hub = self.system.metrics
+        if hub is not None:
+            from repro.obs import (  # local: keeps import cheap
+                HealthReporter,
+                attach_serving_metrics,
+                resolve_metrics_spec,
+            )
+
+            if state is not None and "obs" in state:
+                hub.restore(state["obs"])
+            attach_serving_metrics(hub, self)
+            if resolve_metrics_spec(scenario.metrics)["heartbeat"]:
+                self.health = HealthReporter(horizon_us=self.spec.horizon_us)
+                if state is not None:
+                    self.health.note_checkpoint(start_us)
+                hub.add_row_listener(self.health.heartbeat)
 
     # ------------------------------------------------------------------
     # Execution
@@ -460,7 +480,7 @@ class ServingDriver:
     def checkpoint(self) -> Dict[str, Any]:
         """JSON-serialisable resume state (valid at quiesce or completion)."""
         sim = self.system.simulator
-        return {
+        payload = {
             "schema": CHECKPOINT_SCHEMA,
             "clock_us": sim.now,
             "request_seq": self._request_seq,
@@ -476,6 +496,11 @@ class ServingDriver:
                 for runtime in self._tenants
             },
         }
+        # Optional (schema-compatible): checkpoints from metrics-off runs
+        # stay valid, and metrics-off resumes simply ignore the key.
+        if self.system.metrics is not None:
+            payload["obs"] = self.system.metrics.state()
+        return payload
 
     def summary(self) -> Dict[str, Any]:
         """The serving summary (admission counters + streaming metrics)."""
@@ -509,6 +534,13 @@ class ServingOutcome:
     validated: bool
     violations: List[Dict]
     trace_events: List[Any] = field(default_factory=list)
+    #: Metrics snapshot rows (``None`` when metrics are off); carried across
+    #: checkpoint segments through the hub state in the checkpoint payload.
+    metrics_rows: Optional[List[Dict[str, Any]]] = None
+    #: Final metric values at run end (``None`` when metrics are off).
+    metrics_snapshot: Optional[Dict[str, float]] = None
+    #: Hub meta (scheme names etc.) for the JSONL exporter header.
+    metrics_meta: Optional[Dict[str, Any]] = None
 
 
 def run_serving(
@@ -543,6 +575,9 @@ def run_serving(
         # must never depend on live Python objects sneaking through.
         state = json.loads(json.dumps(driver.checkpoint()))
     assert driver is not None
+    hub = driver.system.metrics
+    if hub is not None:
+        hub.finalize(driver.system.simulator.now)
     return ServingOutcome(
         scenario=scenario,
         summary=driver.summary(),
@@ -554,6 +589,9 @@ def run_serving(
         validated=scenario.validate,
         violations=violations,
         trace_events=trace_events,
+        metrics_rows=None if hub is None else list(hub.rows),
+        metrics_snapshot=None if hub is None else hub.registry.snapshot(),
+        metrics_meta=None if hub is None else dict(hub.meta),
     )
 
 

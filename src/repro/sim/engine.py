@@ -79,6 +79,17 @@ class Simulator:
         self.events_cancelled = 0
         #: High-water mark of heap entries (live + dead), for benchmarks.
         self.peak_heap_entries = 0
+        #: Number of in-place heap compactions performed (see
+        #: :meth:`_maybe_compact`); surfaced by the metrics layer.
+        self.compactions = 0
+        #: Optional :class:`repro.obs.MetricsHub` probe called once per fired
+        #: event.  None-gated raw attribute (not an observer): with metrics
+        #: off the hot loop pays one attribute load, and unlike observers it
+        #: does not disable the SM wave-batching fast path.
+        self.metrics = None
+        #: Optional :class:`repro.obs.EventLoopProfiler` wrapping event
+        #: callbacks with wall-clock timing; same None-gated contract.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Time
@@ -164,6 +175,7 @@ class Simulator:
         heap[:] = [entry for entry in heap if not entry[3].cancelled]
         heapq.heapify(heap)
         self._dead_entries = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # Observers
@@ -198,10 +210,17 @@ class Simulator:
         self._live_events -= 1
         self._now = entry[0]
         self.events_processed += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.on_event(entry[0], event.label)
         if self._observers:
             for observer in self._observers:
                 observer.on_event_fired(event, previous_now)
-        event.callback()
+        profiler = self.profiler
+        if profiler is None:
+            event.callback()
+        else:
+            profiler.record(event.label, event.callback)
 
     def step(self) -> bool:
         """Process the next pending event.

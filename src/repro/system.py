@@ -54,6 +54,7 @@ class GPUSystem:
         policy_options: Optional[Dict] = None,
         validate: bool = False,
         trace: bool = False,
+        metrics=None,
         start_time_us: float = 0.0,
     ):
         self.config = config if config is not None else SystemConfig()
@@ -132,6 +133,39 @@ class GPUSystem:
 
             collector = trace if isinstance(trace, TraceCollector) else TraceCollector()
             collector.attach(self)
+        #: Metrics hub (``None`` unless metrics are enabled).  ``metrics``
+        #: accepts ``True`` / a ``ScenarioSpec.metrics``-style mapping; the
+        #: hub hooks the engine through None-gated attributes rather than
+        #: observers, so enabling it keeps the SM wave-batching fast path.
+        self.metrics = None
+        # `{}` means on-with-defaults (the canonical form of `metrics=True`),
+        # so gate on None rather than truthiness.
+        if metrics is not None and metrics is not False:
+            from repro.obs import (  # local: keeps import cheap
+                MetricsHub,
+                attach_engine_metrics,
+                attach_gpu_metrics,
+            )
+
+            hub = MetricsHub.from_spec(
+                None if metrics is True else metrics, start_us=start_time_us
+            )
+            hub.meta.update(
+                {
+                    "policy": self.policy.name,
+                    "mechanism": self.mechanism.name,
+                    "controller": self.controller.name,
+                }
+            )
+            attach_engine_metrics(hub, self.simulator)
+            attach_gpu_metrics(hub, self)
+            wave_hist = hub.registry.histogram(
+                "engine.wave_size", hub.histogram_growth
+            )
+            for sm in self.execution_engine.sms():
+                sm.metrics_wave_hist = wave_hist
+            self.simulator.metrics = hub
+            self.metrics = hub
 
     # ------------------------------------------------------------------
     # Instrumentation observers
@@ -233,6 +267,7 @@ class GPUSystem:
             policy_options=options or None,
             validate=scenario.validate,
             trace=scenario.trace,
+            metrics=scenario.metrics,
         )
         for slot, (app, process_name) in enumerate(
             zip(scenario.applications, scenario.process_names())
@@ -338,6 +373,11 @@ class GPUSystem:
         self.simulator.run(until=until_us, max_events=max_events)
         if self.validation is not None:
             self.validation.finalize()
+        # Serving runs manage their own finalize (a checkpointed segment
+        # must not cut an extra row at the quiesce instant — split and
+        # unsplit runs would otherwise disagree on the snapshot series).
+        if self.metrics is not None and self.serving is None:
+            self.metrics.finalize(self.simulator.now)
 
     def _on_iteration_complete(self, process: HostProcess, record: IterationRecord) -> None:
         if self._min_iterations is None:
@@ -357,6 +397,15 @@ class GPUSystem:
     def trace_summary(self) -> Optional[Dict]:
         """Telemetry summary of the run (``None`` when tracing is off)."""
         return self.telemetry.summary() if self.telemetry is not None else None
+
+    def metrics_snapshot(self) -> Optional[Dict]:
+        """Latest metric values (``None`` when metrics are off).
+
+        Kept out of :class:`repro.runner.RunRecord` result payloads on
+        purpose: run artifacts must stay byte-identical with metrics on or
+        off (snapshot series are exported as separate JSONL artifacts).
+        """
+        return self.metrics.registry.snapshot() if self.metrics is not None else None
 
     def iteration_times_us(self) -> Dict[str, List[float]]:
         """Completed-iteration durations per process."""

@@ -88,6 +88,7 @@ def generate_large_gpu_scenario(
     scheme: Optional[SchemeSpec] = None,
     validate: bool = False,
     trace: bool = False,
+    metrics: Optional[dict] = None,
     wave_batching: bool = True,
 ) -> ScenarioSpec:
     """One ``large_gpu`` scenario for a GPU with ``num_sms`` SMs.
@@ -112,6 +113,7 @@ def generate_large_gpu_scenario(
         scale=scale,
         validate=validate,
         trace=trace,
+        metrics=metrics,
         scheme=scheme,
         min_processes=processes,
         max_processes=processes,
@@ -130,6 +132,7 @@ def generate_large_gpu_scenarios(
     scheme: Optional[SchemeSpec] = None,
     validate: bool = False,
     trace: bool = False,
+    metrics: Optional[dict] = None,
     wave_batching: bool = True,
 ) -> Tuple[ScenarioSpec, ...]:
     """The scaling sweep: one scenario per SM count, smallest first."""
@@ -143,6 +146,7 @@ def generate_large_gpu_scenarios(
             scheme=scheme,
             validate=validate,
             trace=trace,
+            metrics=metrics,
             wave_batching=wave_batching,
         )
         for num_sms in sorted(sm_counts)

@@ -330,7 +330,11 @@ class WorkloadRunner:
         )
 
     def run_scenario(
-        self, scenario: ScenarioSpec, *, trace_path: Optional[str] = None
+        self,
+        scenario: ScenarioSpec,
+        *,
+        trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
     ) -> WorkloadResult:
         """Simulate one declarative scenario and collect metrics.
 
@@ -346,7 +350,10 @@ class WorkloadRunner:
         For a traced scenario (``scenario.trace``), ``trace_path`` names a
         Chrome trace-event JSON file to export; the raw events stay in this
         process and only the summary (plus the artifact path) travels back in
-        the :class:`WorkloadResult`.
+        the :class:`WorkloadResult`.  Likewise, for an observed scenario
+        (``scenario.metrics``), ``metrics_path`` names a metrics JSONL time
+        series to export — snapshot rows never ride the result object, so
+        observability cannot perturb result bytes.
         """
         if scenario.scale != self.scale.name:
             raise ValueError(
@@ -359,9 +366,13 @@ class WorkloadRunner:
                 "scenario config_overrides do not match this runner's configuration"
             )
         if scenario.cluster is not None:
-            return self._run_fleet_scenario(scenario, trace_path=trace_path)
+            return self._run_fleet_scenario(
+                scenario, trace_path=trace_path, metrics_path=metrics_path
+            )
         if scenario.arrivals is not None:
-            return self._run_serving_scenario(scenario, trace_path=trace_path)
+            return self._run_serving_scenario(
+                scenario, trace_path=trace_path, metrics_path=metrics_path
+            )
         system = GPUSystem.from_scenario(scenario, config=self.config, suite=self.suite)
         iterations = (
             scenario.min_iterations
@@ -385,6 +396,10 @@ class WorkloadRunner:
             name: self.baseline.time_us(app) for name, app in process_applications.items()
         }
         metrics = MultiprogramMetrics.compute(process_times, isolated)
+        if metrics_path is not None and system.metrics is not None:
+            from repro.obs import write_jsonl  # local: keeps import cheap
+
+            write_jsonl(system.metrics.rows, metrics_path, meta=system.metrics.meta)
         trace_summary = None
         if system.telemetry is not None:
             from repro.telemetry.analytics import summarize  # local: keeps import cheap
@@ -417,7 +432,11 @@ class WorkloadRunner:
         )
 
     def _run_fleet_scenario(
-        self, scenario: ScenarioSpec, *, trace_path: Optional[str] = None
+        self,
+        scenario: ScenarioSpec,
+        *,
+        trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
     ) -> WorkloadResult:
         """Run a multi-GPU (``cluster=``) scenario through the fleet layer.
 
@@ -432,6 +451,10 @@ class WorkloadRunner:
         from repro.cluster import run_fleet  # local: avoids cycle
 
         outcome = run_fleet(scenario, suite=self.suite)
+        if metrics_path is not None and outcome.metrics_rows is not None:
+            from repro.obs import write_jsonl  # local: keeps import cheap
+
+            write_jsonl(outcome.metrics_rows, metrics_path, meta=outcome.metrics_meta)
         spec = WorkloadSpec(
             applications=scenario.applications,
             high_priority_index=scenario.high_priority_index,
@@ -471,7 +494,11 @@ class WorkloadRunner:
         )
 
     def _run_serving_scenario(
-        self, scenario: ScenarioSpec, *, trace_path: Optional[str] = None
+        self,
+        scenario: ScenarioSpec,
+        *,
+        trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
     ) -> WorkloadResult:
         """Run an open-loop (``arrivals=``) scenario through the serving layer.
 
@@ -482,6 +509,10 @@ class WorkloadRunner:
         from repro.serving import run_serving  # local: avoids cycle
 
         outcome = run_serving(scenario, config=self.config, suite=self.suite)
+        if metrics_path is not None and outcome.metrics_rows is not None:
+            from repro.obs import write_jsonl  # local: keeps import cheap
+
+            write_jsonl(outcome.metrics_rows, metrics_path, meta=outcome.metrics_meta)
         spec = WorkloadSpec(
             applications=scenario.applications,
             high_priority_index=scenario.high_priority_index,

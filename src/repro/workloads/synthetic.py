@@ -394,6 +394,7 @@ def generate_synthetic_scenario(
     config_overrides: Optional[dict] = None,
     open_loop: bool = False,
     cluster: bool = False,
+    metrics: Optional[dict] = None,
 ) -> ScenarioSpec:
     """Derive one complete multiprogram scenario from an integer seed.
 
@@ -452,6 +453,7 @@ def generate_synthetic_scenario(
         arrivals=arrivals,
         slo=slo,
         cluster=cluster_section,
+        metrics=metrics,
     )
 
 
@@ -466,6 +468,7 @@ def generate_synthetic_scenarios(
     min_processes: int = 2,
     max_processes: int = 5,
     open_loop: bool = False,
+    metrics: Optional[dict] = None,
 ) -> List[ScenarioSpec]:
     """Derive ``count`` scenarios from consecutive sub-seeds of ``seed``.
 
@@ -485,6 +488,7 @@ def generate_synthetic_scenarios(
             min_processes=min_processes,
             max_processes=max_processes,
             open_loop=open_loop,
+            metrics=metrics,
         )
         for i in range(count)
     ]

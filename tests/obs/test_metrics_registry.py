@@ -1,0 +1,185 @@
+"""Unit and property tests for the O(1)-memory metric primitives."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    LogHistogram,
+    MetricsRegistry,
+    MetricTypeError,
+)
+
+
+# ----------------------------------------------------------------------
+# Counters and gauges
+# ----------------------------------------------------------------------
+def test_counter_increments_and_rejects_decrease():
+    counter = CounterMetric("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    counter.set(2)  # absolute mirroring is allowed (external counters)
+    assert counter.value == 2
+
+
+def test_gauge_holds_last_value():
+    gauge = GaugeMetric("g")
+    gauge.set(3.5)
+    gauge.set(-1.0)
+    assert gauge.value == -1.0
+    assert list(gauge.snapshot_items()) == [("g", -1.0)]
+
+
+# ----------------------------------------------------------------------
+# Log-bucketed histogram
+# ----------------------------------------------------------------------
+def test_histogram_bucket_index_bounds_invariant():
+    hist = LogHistogram("h", growth=2.0)
+    for value in (0.001, 0.5, 1.0, 1.5, 2.0, 2.0000001, 3.0, 1024.0, 1e12):
+        index = hist.bucket_index(value)
+        low, high = hist.bucket_bounds(index)
+        assert low < value <= high
+
+
+def test_histogram_counts_zeros_separately():
+    hist = LogHistogram("h")
+    for value in (0.0, 0.0, 4.0):
+        hist.observe(value)
+    assert hist.count == 3
+    assert hist.zero_count == 2
+    assert hist.quantile(0.5) == 0.0
+    assert hist.quantile(1.0) == 4.0
+
+
+def test_histogram_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        LogHistogram("h", growth=1.0)
+    hist = LogHistogram("h")
+    with pytest.raises(ValueError):
+        hist.observe(-1.0)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+    assert hist.quantile(0.5) is None  # empty
+    assert hist.mean is None
+
+
+def test_histogram_snapshot_items_expand_quantiles():
+    hist = LogHistogram("lat")
+    for value in range(1, 101):
+        hist.observe(float(value))
+    items = dict(hist.snapshot_items())
+    assert items["lat.count"] == 100
+    assert items["lat.sum"] == sum(range(1, 101))
+    assert items["lat.min"] == 1.0
+    assert items["lat.max"] == 100.0
+    assert set(items) == {
+        "lat.count", "lat.sum", "lat.min", "lat.max", "lat.p50", "lat.p90", "lat.p99",
+    }
+
+
+def test_histogram_state_round_trips_through_json():
+    hist = LogHistogram("h", growth=3.0)
+    for value in (0.0, 0.1, 7.0, 7.0, 4000.0):
+        hist.observe(value)
+    state = json.loads(json.dumps(hist.state()))
+    clone = LogHistogram("h")
+    clone.restore(state)
+    assert clone.growth == 3.0
+    assert clone.count == hist.count
+    assert clone.zero_count == hist.zero_count
+    for q in (0.5, 0.9, 0.99):
+        assert clone.quantile(q) == hist.quantile(q)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=300,
+    ),
+    growth=st.floats(min_value=1.1, max_value=10.0),
+    q=st.sampled_from((0.01, 0.25, 0.5, 0.9, 0.99, 1.0)),
+)
+def test_histogram_quantile_within_one_bucket_of_nearest_rank(values, growth, q):
+    """Satellite 6: the estimate brackets the exact nearest-rank sample.
+
+    The estimate is the upper edge of the bucket holding the exact sample, so
+    it never undershoots and overshoots by at most one bucket width (a factor
+    of ``growth``).
+    """
+    hist = LogHistogram("h", growth=growth)
+    for value in values:
+        hist.observe(value)
+    rank = max(1, math.ceil(q * len(values)))
+    exact = sorted(values)[rank - 1]
+    estimate = hist.quantile(q)
+    if exact == 0.0:
+        assert estimate == 0.0
+    else:
+        low, high = hist.bucket_bounds(hist.bucket_index(exact))
+        assert estimate == high
+        assert exact <= estimate
+        assert estimate <= exact * growth * (1 + 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_create_or_get_and_type_guard():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    registry.gauge("b")
+    registry.histogram("c", growth=4.0)
+    with pytest.raises(MetricTypeError):
+        registry.gauge("a")
+    with pytest.raises(MetricTypeError):
+        registry.counter("c")
+    assert len(registry) == 3
+    assert registry.get("missing") is None
+
+
+def test_registry_snapshot_is_sorted_and_flat():
+    registry = MetricsRegistry()
+    registry.counter("z.count").inc(2)
+    registry.gauge("a.depth").set(7)
+    hist = registry.histogram("m.lat")
+    hist.observe(3.0)
+    snapshot = registry.snapshot()
+    assert list(snapshot) == sorted(snapshot)
+    assert snapshot["z.count"] == 2
+    assert snapshot["a.depth"] == 7
+    assert snapshot["m.lat.count"] == 1
+
+
+def test_registry_state_round_trips_through_json():
+    registry = MetricsRegistry()
+    registry.counter("events").inc(12)
+    registry.gauge("depth").set(3)
+    registry.histogram("lat", growth=2.0).observe(9.0)
+    state = json.loads(json.dumps(registry.state()))
+
+    clone = MetricsRegistry()
+    clone.restore(state)
+    assert clone.snapshot() == registry.snapshot()
+    # Restoring into a registry that already has the metric merges by name.
+    registry.restore(state)
+    assert registry.snapshot() == clone.snapshot()
+
+
+def test_registry_restore_rejects_kind_mismatch_and_unknown_kind():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(MetricTypeError):
+        registry.restore({"x": {"kind": "gauge", "value": 1}})
+    with pytest.raises(ValueError):
+        registry.restore({"y": {"kind": "mystery", "value": 1}})
