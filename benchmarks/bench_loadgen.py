@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Loadgen benchmark: trace synthesis rate and replay-scenario throughput.
+
+Two entries per preset, merged into ``BENCH_results.json`` under the
+``loadgen_bench`` key and gated by ``benchmarks/compare_bench.py`` alongside
+``scale_bench``/``serving_bench``:
+
+* ``loadgen_synth``: synthesizes an ``azure_faas`` trace and records
+  arrivals synthesized per wall-clock second (``events_per_sec`` counts one
+  event per synthesized arrival — the generator's headline rate; the
+  hash-addressed draws make every repeat byte-identical, so only the clock
+  varies),
+* ``loadgen_replay``: calibrates + compiles the same trace into a serving
+  scenario once (untimed — calibration probes are setup, not the replay
+  path), then times ``run_serving`` over the non-wrapping replay streams and
+  records simulator events/sec.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_loadgen.py                # full sweep
+    PYTHONPATH=src python benchmarks/bench_loadgen.py --preset small # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+from repro.loadgen.calibrate import calibrate_trace
+from repro.loadgen.compile import compile_serving_scenario
+from repro.loadgen.synth import synthesize_trace
+from repro.serving.driver import run_serving
+from repro.utils.bench_results import merge_section
+
+#: Preset name -> synthesis options.  The replay entry always reuses the
+#: reference-trace recipe (60 ms horizon, 400 µs mean gap) so its workload —
+#: and therefore its events/sec — is preset-independent; only the synthesis
+#: entry grows with the preset.
+PRESETS: Dict[str, Dict[str, float]] = {
+    "small": {"horizon_us": 240_000.0, "mean_interarrival_us": 40.0},
+    "full": {"horizon_us": 1_200_000.0, "mean_interarrival_us": 20.0},
+}
+
+#: Synthesis recipe shared by both entries (matches tests/data/reference_trace).
+TRACE_SOURCE = "azure_faas"
+NUM_TENANTS = 4
+REPLAY_OPTIONS = {"horizon_us": 60_000.0, "mean_interarrival_us": 400.0}
+
+
+def bench_synth(preset: str, *, repeats: int) -> Dict:
+    """Benchmark trace synthesis; returns the per-entry result record."""
+    options = PRESETS[preset]
+    best_wall = float("inf")
+    trace = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        trace = synthesize_trace(
+            TRACE_SOURCE, seed=1, num_tenants=NUM_TENANTS, **options
+        )
+        best_wall = min(best_wall, time.perf_counter() - started)
+    arrivals = trace.total_arrivals
+    return {
+        "source": TRACE_SOURCE,
+        "tenants": NUM_TENANTS,
+        "horizon_us": options["horizon_us"],
+        "wall_s": round(best_wall, 4),
+        "arrivals": arrivals,
+        "events_per_sec": round(arrivals / best_wall) if best_wall else 0,
+    }
+
+
+def bench_replay(*, repeats: int) -> Dict:
+    """Benchmark a compiled replay scenario through the serving driver."""
+    trace = synthesize_trace(
+        TRACE_SOURCE, seed=1, num_tenants=NUM_TENANTS, **REPLAY_OPTIONS
+    )
+    calibration = calibrate_trace(trace, scale="smoke")
+    scenario = compile_serving_scenario(trace, calibration)
+    best_wall = float("inf")
+    outcome = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        outcome = run_serving(scenario)
+        best_wall = min(best_wall, time.perf_counter() - started)
+    events = outcome.events_processed
+    summary = outcome.summary
+    return {
+        "source": TRACE_SOURCE,
+        "tenants": NUM_TENANTS,
+        "achieved_utilization": calibration.achieved_utilization,
+        "wall_s": round(best_wall, 4),
+        "requests_completed": summary["completed"],
+        "requests_per_sec": (
+            round(summary["completed"] / best_wall) if best_wall else 0
+        ),
+        "events_processed": events,
+        "events_per_sec": round(events / best_wall) if best_wall else 0,
+    }
+
+
+def run_benchmark(preset: str, *, repeats: int) -> Dict:
+    """Run both entries and build the ``loadgen_bench`` payload."""
+    results = {
+        "loadgen_synth": bench_synth(preset, repeats=repeats),
+        "loadgen_replay": bench_replay(repeats=repeats),
+    }
+    for key, r in results.items():
+        print(
+            f"{key}: wall {r['wall_s']} s, {r['events_per_sec']:,} events/s",
+            file=sys.stderr,
+        )
+    return {
+        "schema": 1,
+        "preset": preset,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "metric": (
+            "loadgen_synth events_per_sec counts synthesized arrivals per "
+            "wall-clock second; loadgen_replay events_per_sec counts raw "
+            "simulator events while serving the compiled replay scenario"
+        ),
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="full", help="synthesis size to run"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions per entry (best wins)"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.environ.get("BENCH_RESULTS_PATH", "BENCH_results.json"),
+        help="results file to merge into (default: BENCH_results.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(args.preset, repeats=args.repeats)
+    merge_section(args.output, "loadgen_bench", payload)
+    print(f"loadgen_bench ({args.preset}) -> {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

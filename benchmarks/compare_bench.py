@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Compare benchmark result files and fail on throughput regressions.
 
-Reads the ``scale_bench``, ``serving_bench``, ``fleet_bench`` and
-``obs_bench`` sections of
+Reads the ``scale_bench``, ``serving_bench``, ``fleet_bench``,
+``obs_bench`` and ``loadgen_bench`` sections of
 a baseline and one or more candidate ``BENCH_results.json`` files (either
 the merged file or a bare section payload) and compares ``events_per_sec``
 per entry.  Exits non-zero when any entry present in both sides regresses by
@@ -33,7 +33,13 @@ from typing import Dict, List
 
 
 #: Gated sections of a merged ``BENCH_results.json`` document.
-SECTIONS = ("scale_bench", "serving_bench", "fleet_bench", "obs_bench")
+SECTIONS = (
+    "scale_bench",
+    "serving_bench",
+    "fleet_bench",
+    "obs_bench",
+    "loadgen_bench",
+)
 
 
 def load_results(path: str) -> Dict[str, Dict]:

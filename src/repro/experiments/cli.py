@@ -41,6 +41,7 @@ from repro.experiments import fleet as fleet_experiment
 from repro.experiments import scale as scale_experiment
 from repro.experiments import serving as serving_experiment
 from repro.experiments import slo_preemption
+from repro.experiments import trace_serving as trace_serving_experiment
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.registry import (
     ARRIVALS,
@@ -48,6 +49,7 @@ from repro.registry import (
     MECHANISMS,
     POLICIES,
     ROUTERS,
+    TRACE_SOURCES,
     TRANSFER_POLICIES,
 )
 
@@ -68,6 +70,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "serving": serving_experiment.run,
     "fleet": fleet_experiment.run,
     "slo_preemption": slo_preemption.run,
+    "trace_serving": trace_serving_experiment.run,
 }
 
 
@@ -333,6 +336,7 @@ def format_listing() -> str:
         ("Transfer scheduling policies", TRANSFER_POLICIES),
         ("Arrival processes", ARRIVALS),
         ("Cluster routers", ROUTERS),
+        ("Trace sources", TRACE_SOURCES),
     ):
         lines.append("")
         lines.append(f"{title}:")

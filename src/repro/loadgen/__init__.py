@@ -1,0 +1,37 @@
+"""Trace-driven workload generation: synthesize, calibrate, validate, compile.
+
+The loadgen subsystem turns "millions of users" into runnable scenarios:
+
+* :mod:`repro.loadgen.trace` — the frozen :class:`WorkloadTrace` model and
+  its byte-stable JSONL on-disk format;
+* :mod:`repro.loadgen.synth` — seed-deterministic trace sources
+  (:data:`repro.registry.TRACE_SOURCES`) with heavy tails, diurnal
+  envelopes and MMPP-style burst epochs;
+* :mod:`repro.loadgen.calibrate` — fit request sizes onto kernel-grid
+  multipliers so offered load tracks service capacity;
+* :mod:`repro.loadgen.validate` — KS / mean / CV / tail-index comparisons
+  between traces;
+* :mod:`repro.loadgen.compile` — emit :class:`~repro.scenario.ScenarioSpec`
+  ``arrivals=`` sections (per-tenant ``replay`` gap lists) that
+  :class:`~repro.serving.driver.ServingDriver` and
+  :class:`~repro.cluster.fleet.GPUFleet` consume unchanged;
+* :mod:`repro.loadgen.cli` — the ``generate`` / ``validate`` / ``compile`` /
+  ``run`` command group.
+"""
+
+from repro.loadgen.trace import (
+    TraceTenant,
+    WorkloadTrace,
+    load_trace,
+    save_trace,
+)
+from repro.loadgen.synth import TraceSource, synthesize_trace
+
+__all__ = [
+    "TraceTenant",
+    "WorkloadTrace",
+    "load_trace",
+    "save_trace",
+    "TraceSource",
+    "synthesize_trace",
+]

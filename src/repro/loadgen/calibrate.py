@@ -1,0 +1,243 @@
+"""Calibration: map trace request sizes onto kernel-grid multipliers.
+
+A :class:`~repro.loadgen.trace.WorkloadTrace` carries *dimensionless*
+request-size samples; the simulator runs *kernels*.  Calibration bridges the
+two, in the spirit of the FaaS loadgen's ``calibrate.py``: it measures how
+long the synthetic app family's kernels actually take on the simulated GPU
+(:func:`probe_service_time_us` launches them on a fresh idle
+:class:`~repro.system.GPUSystem` and reads the simulated clock — no
+analytical shortcuts, the probe sees occupancy limits and launch overheads
+exactly as a serving run will) and then fits a single scale factor ``c``
+mapping each tenant's mean request size to a ``syn-<seed>-<index>-x<mult>``
+grid multiplier:
+
+``mult(tenant) = clamp(round(c * mean_size(tenant)), 1, max_multiplier)``
+
+``c`` is chosen so the *offered load* — the sum over tenants of arrival rate
+x probed per-request service time — tracks the simulated service capacity at
+``target_utilization``.  The fitted mapping, every probed service time and
+the achieved utilization are reported in a frozen, JSON-round-trippable
+:class:`CalibrationResult`, which :func:`repro.loadgen.compile.compile_serving_scenario`
+consumes to pick each tenant's application.
+
+Everything is deterministic: probes are pure simulation, the scan grid is
+fixed, and the result serialises to stable JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.loadgen.trace import WorkloadTrace
+
+#: Log-spaced scan grid size for the size→multiplier factor ``c``.
+_SCAN_POINTS = 48
+#: Scan range of ``c`` relative to ``max_multiplier`` (lower bound fixed).
+_SCAN_LO = 0.05
+
+
+def probe_service_time_us(app: str, *, scale=None, config=None) -> float:
+    """Mean simulated duration (µs) of one request-kernel of ``app``.
+
+    The serving layer launches exactly one kernel per admitted request,
+    cycling the app's kernels round-robin, so the mean single-kernel
+    completion time on an otherwise idle GPU *is* the per-request service
+    demand.  Kernels are launched strictly one at a time (the simulator runs
+    to idle between launches) so the probe measures service time, not
+    queueing.
+    """
+    from repro.system import GPUSystem  # local: avoids import cycle
+    from repro.workloads.scale import WorkloadScale
+    from repro.workloads.synthetic import SyntheticSuite
+
+    if scale is None:
+        scale = WorkloadScale.smoke()
+    elif isinstance(scale, str):
+        scale = WorkloadScale.by_name(scale)
+    if config is None:
+        from repro.gpu.config import SystemConfig
+
+        config = scale.scale_config(SystemConfig())
+
+    trace = SyntheticSuite(scale).trace(app)
+    system = GPUSystem(config)
+    context = system.driver.create_context(f"probe:{app}")
+    durations: List[float] = []
+    for name in sorted(trace.kernels):
+        start = system.simulator.now
+        done: List[float] = []
+        command = system.driver.launch_kernel(context, trace.kernels[name])
+        command.subscribe_completion(lambda t, done=done: done.append(t))
+        system.simulator.run()
+        if not done:
+            raise RuntimeError(f"probe kernel {name!r} of {app!r} never completed")
+        durations.append(done[0] - start)
+    return sum(durations) / len(durations)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """The fitted size→multiplier mapping for one trace (JSON-round-trips)."""
+
+    #: Seed of the synthetic app family the tenants were mapped onto.
+    app_seed: int
+    #: Number of distinct base apps tenants cycle through.
+    num_apps: int
+    #: Workload-scale name the probes ran at.
+    scale: str
+    #: Requested utilization (offered load / capacity).
+    target_utilization: float
+    #: The fitted size→multiplier factor ``c``.
+    size_factor: float
+    #: Utilization achieved by the fitted mapping.
+    achieved_utilization: float
+    #: Tenant name → assigned application name (``syn-…-x<mult>``).
+    apps: Mapping[str, str]
+    #: Application name → probed per-request service time (µs).
+    service_times_us: Mapping[str, float]
+    #: Tenant name → offered arrival rate (requests/µs) used in the fit.
+    rates_per_us: Mapping[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        return {
+            "app_seed": self.app_seed,
+            "num_apps": self.num_apps,
+            "scale": self.scale,
+            "target_utilization": self.target_utilization,
+            "size_factor": self.size_factor,
+            "achieved_utilization": self.achieved_utilization,
+            "apps": dict(self.apps),
+            "service_times_us": dict(self.service_times_us),
+            "rates_per_us": dict(self.rates_per_us),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CalibrationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        unknown = set(payload) - {
+            "app_seed", "num_apps", "scale", "target_utilization",
+            "size_factor", "achieved_utilization", "apps",
+            "service_times_us", "rates_per_us",
+        }
+        if unknown:
+            raise ValueError(f"unknown CalibrationResult keys: {sorted(unknown)}")
+        return cls(
+            app_seed=int(payload["app_seed"]),
+            num_apps=int(payload["num_apps"]),
+            scale=str(payload["scale"]),
+            target_utilization=float(payload["target_utilization"]),
+            size_factor=float(payload["size_factor"]),
+            achieved_utilization=float(payload["achieved_utilization"]),
+            apps=dict(payload["apps"]),
+            service_times_us={
+                k: float(v) for k, v in dict(payload["service_times_us"]).items()
+            },
+            rates_per_us={
+                k: float(v) for k, v in dict(payload.get("rates_per_us", {})).items()
+            },
+        )
+
+
+def calibrate_trace(
+    trace: WorkloadTrace,
+    *,
+    app_seed: int = 0,
+    num_apps: int = 3,
+    scale: Any = "smoke",
+    target_utilization: float = 0.6,
+    max_multiplier: int = 128,
+    config=None,
+) -> CalibrationResult:
+    """Fit the size→multiplier mapping for ``trace`` at ``target_utilization``.
+
+    Tenant ``t`` (in trace order) is assigned base app
+    ``syn-<app_seed>-<t % num_apps>`` at multiplier
+    ``clamp(round(c * mean_size(t)), 1, max_multiplier)``; the factor ``c``
+    is scanned over a fixed log-spaced grid and the value whose offered load
+    lands closest to ``target_utilization`` (one GPU's capacity) wins.
+    Service times are probed once per distinct ``(app index, multiplier)``
+    pair and cached across the scan.
+    """
+    from repro.workloads.scale import WorkloadScale
+    from repro.workloads.synthetic import synthetic_app_name
+
+    if not 0.0 < target_utilization <= 2.0:
+        raise ValueError("target_utilization must be in (0, 2]")
+    if num_apps < 1:
+        raise ValueError("num_apps must be at least 1")
+    if max_multiplier < 1:
+        raise ValueError("max_multiplier must be at least 1")
+    scale_obj = (
+        WorkloadScale.by_name(scale) if isinstance(scale, str) else scale
+    )
+
+    tenants = trace.tenants
+    rates = {
+        t.name: len(t.arrivals_us) / trace.horizon_us for t in tenants
+    }
+    mean_sizes = {t.name: t.mean_size() for t in tenants}
+    app_index = {
+        t.name: i % num_apps for i, t in enumerate(tenants)
+    }
+
+    service_cache: Dict[Tuple[int, int], float] = {}
+
+    def service(index: int, mult: int) -> float:
+        key = (index, mult)
+        if key not in service_cache:
+            name = synthetic_app_name(app_seed, index, mult)
+            service_cache[key] = probe_service_time_us(
+                name, scale=scale_obj, config=config
+            )
+        return service_cache[key]
+
+    def mult_for(c: float, tenant: str) -> int:
+        return max(1, min(max_multiplier, round(c * mean_sizes[tenant])))
+
+    def utilization(c: float) -> float:
+        return sum(
+            rates[t.name] * service(app_index[t.name], mult_for(c, t.name))
+            for t in tenants
+        )
+
+    lo = _SCAN_LO
+    hi = float(max_multiplier) / max(min(mean_sizes.values()), 1e-9)
+    best_c = lo
+    best_err = float("inf")
+    for i in range(_SCAN_POINTS):
+        c = lo * (hi / lo) ** (i / (_SCAN_POINTS - 1))
+        err = abs(utilization(c) - target_utilization)
+        if err < best_err - 1e-12:
+            best_err = err
+            best_c = c
+
+    apps = {
+        t.name: synthetic_app_name(
+            app_seed, app_index[t.name], mult_for(best_c, t.name)
+        )
+        for t in tenants
+    }
+    service_times = {
+        apps[t.name]: service(app_index[t.name], mult_for(best_c, t.name))
+        for t in tenants
+    }
+    return CalibrationResult(
+        app_seed=app_seed,
+        num_apps=num_apps,
+        scale=scale_obj.name,
+        target_utilization=target_utilization,
+        size_factor=round(best_c, 6),
+        achieved_utilization=round(utilization(best_c), 6),
+        apps=apps,
+        service_times_us={k: round(v, 3) for k, v in service_times.items()},
+        rates_per_us={k: round(v, 9) for k, v in rates.items()},
+    )
+
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate_trace",
+    "probe_service_time_us",
+]

@@ -1,0 +1,268 @@
+"""Command-line entry point: ``python -m repro.loadgen.cli``.
+
+The loadgen command group drives the trace pipeline end to end::
+
+    # synthesize a trace (seed-deterministic, byte-stable JSONL)
+    python -m repro.loadgen.cli generate --source azure_faas --seed 7 \
+        --horizon-us 60000 --tenants 4 --out trace.jsonl
+
+    # compare it against a reference trace (KS / mean / CV / tail index)
+    python -m repro.loadgen.cli validate trace.jsonl --reference ref.jsonl
+
+    # calibrate request sizes onto kernel-grid multipliers and emit a
+    # runnable scenario (add --cluster-gpus for a fleet scenario)
+    python -m repro.loadgen.cli compile trace.jsonl --out scenario.json \
+        --target-utilization 0.6
+
+    # run the compiled scenario; summary JSON goes to stdout (stderr carries
+    # wall-clock chatter), so two runs can be diffed byte-for-byte
+    python -m repro.loadgen.cli run scenario.json
+    python -m repro.loadgen.cli run scenario.json --jobs 4          # fleet
+    python -m repro.loadgen.cli run scenario.json --checkpoint-at 20000
+
+Every step is deterministic: same seed + options ⇒ byte-identical trace
+file, scenario JSON and run summary (serial, parallel and checkpoint-split
+alike).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.loadgen.calibrate import calibrate_trace
+from repro.loadgen.compile import compile_serving_scenario
+from repro.loadgen.trace import load_trace, save_trace
+from repro.loadgen.validate import DEFAULT_THRESHOLDS, compare_traces, gap_stats
+from repro.registry import TRACE_SOURCES
+
+
+def _parse_option(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Synthesize, validate, calibrate and run trace-driven "
+        "workloads ('millions of users' traffic).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a workload trace")
+    gen.add_argument(
+        "--source",
+        default="azure_faas",
+        help=f"trace source: {', '.join(TRACE_SOURCES.names())} "
+        "(default: azure_faas)",
+    )
+    gen.add_argument("--seed", type=int, default=0, help="synthesis seed")
+    gen.add_argument(
+        "--horizon-us", type=float, default=60_000.0, help="trace horizon (µs)"
+    )
+    gen.add_argument("--tenants", type=int, default=4, help="number of tenants")
+    gen.add_argument(
+        "--mean-interarrival-us",
+        type=float,
+        default=400.0,
+        help="per-tenant mean interarrival gap (µs)",
+    )
+    gen.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra source option (repeatable; VALUE parsed as JSON when "
+        "possible, e.g. --option tail_alpha=2.5)",
+    )
+    gen.add_argument("--out", required=True, help="output trace file (JSONL)")
+
+    val = sub.add_parser("validate", help="compare a trace against a reference")
+    val.add_argument("trace", help="candidate trace file (JSONL)")
+    val.add_argument("--reference", required=True, help="reference trace file")
+    val.add_argument(
+        "--ks-max",
+        type=float,
+        default=DEFAULT_THRESHOLDS["ks_max"],
+        help=f"max pooled-gap KS distance (default: {DEFAULT_THRESHOLDS['ks_max']})",
+    )
+    val.add_argument("--json", action="store_true", help="emit the full comparison as JSON")
+
+    comp = sub.add_parser(
+        "compile", help="calibrate a trace and emit a runnable scenario"
+    )
+    comp.add_argument("trace", help="trace file (JSONL)")
+    comp.add_argument("--out", required=True, help="output scenario file (JSON)")
+    comp.add_argument(
+        "--target-utilization",
+        type=float,
+        default=0.6,
+        help="offered load / service capacity to calibrate for (default: 0.6)",
+    )
+    comp.add_argument("--app-seed", type=int, default=0, help="synthetic app family seed")
+    comp.add_argument(
+        "--num-apps", type=int, default=3, help="distinct base apps tenants cycle through"
+    )
+    comp.add_argument(
+        "--scale",
+        default="smoke",
+        choices=["full", "reduced", "smoke"],
+        help="workload scale the scenario (and calibration probes) run at",
+    )
+    comp.add_argument("--policy", default="ppq", help="scheduling policy (default: ppq)")
+    comp.add_argument(
+        "--mechanism",
+        default="context_switch",
+        help="preemption mechanism (default: context_switch)",
+    )
+    comp.add_argument(
+        "--controller", default=None, help="preemption controller (default: none)"
+    )
+    comp.add_argument(
+        "--cluster-gpus",
+        type=int,
+        default=0,
+        metavar="N",
+        help="emit a fleet scenario with N member GPUs (default: single GPU)",
+    )
+
+    run = sub.add_parser("run", help="run a compiled scenario, print its summary")
+    run.add_argument("scenario", help="scenario file (JSON)")
+    run.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="fleet worker processes (cluster scenarios only; default: serial)",
+    )
+    run.add_argument(
+        "--checkpoint-at",
+        type=float,
+        nargs="*",
+        default=[],
+        metavar="US",
+        help="quiesce/checkpoint/resume near these simulated times "
+        "(serving scenarios only)",
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    options: Dict[str, Any] = {
+        "seed": args.seed,
+        "horizon_us": args.horizon_us,
+        "num_tenants": args.tenants,
+        "mean_interarrival_us": args.mean_interarrival_us,
+    }
+    for item in args.option:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--option expects KEY=VALUE, got {item!r}")
+        options[key] = _parse_option(value)
+    trace = TRACE_SOURCES.create(args.source, **options).build()
+    save_trace(trace, args.out)
+    stats = gap_stats(trace.pooled_gaps_us())
+    print(
+        f"{trace.name}: {trace.total_arrivals} arrivals, "
+        f"{len(trace.tenants)} tenant(s), horizon {trace.horizon_us:.0f} µs, "
+        f"mean gap {stats['mean_us']:.1f} µs, CV {stats['cv']:.2f}, "
+        f"KS-to-Poisson {stats['ks_to_exponential']:.3f} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    candidate = load_trace(args.trace)
+    reference = load_trace(args.reference)
+    comparison = compare_traces(
+        candidate, reference, thresholds={"ks_max": args.ks_max}
+    )
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"KS {comparison.ks:.4f}  mean-rate err {comparison.mean_rate_rel:.4f}  "
+            f"CV err {comparison.cv_rel:.4f}  tail err {comparison.tail_index_rel:.4f}"
+        )
+        for failure in comparison.failures():
+            print(f"FAIL: {failure}")
+        print("match" if comparison.ok else "no match")
+    return 0 if comparison.ok else 1
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.scenario import SchemeSpec  # local: keeps import cheap
+
+    trace = load_trace(args.trace)
+    calibration = calibrate_trace(
+        trace,
+        app_seed=args.app_seed,
+        num_apps=args.num_apps,
+        scale=args.scale,
+        target_utilization=args.target_utilization,
+    )
+    scheme = SchemeSpec(
+        policy=args.policy, mechanism=args.mechanism, controller=args.controller
+    )
+    cluster = {"num_gpus": args.cluster_gpus} if args.cluster_gpus else None
+    scenario = compile_serving_scenario(
+        trace, calibration, scheme=scheme, cluster=cluster
+    )
+    with open(args.out, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(scenario.to_json() + "\n")
+    print(
+        f"{trace.name}: utilization {calibration.achieved_utilization:.3f} "
+        f"(target {calibration.target_utilization}), size factor "
+        f"{calibration.size_factor:.3f}, apps "
+        f"{', '.join(sorted(set(calibration.apps.values())))} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.scenario import ScenarioSpec  # local: keeps import cheap
+
+    with open(args.scenario, "r", encoding="utf-8") as handle:
+        scenario = ScenarioSpec.from_json(handle.read())
+    started = time.time()
+    if scenario.cluster is not None:
+        from repro.cluster.fleet import run_fleet
+        from repro.runner import BatchRunner
+
+        if args.checkpoint_at:
+            raise SystemExit("--checkpoint-at applies to serving scenarios only")
+        runner = BatchRunner(jobs=args.jobs) if args.jobs != 1 else None
+        summary = run_fleet(scenario, runner=runner).summary
+    else:
+        from repro.serving.driver import run_serving
+
+        summary = run_serving(scenario, checkpoint_at=args.checkpoint_at).summary
+    # Summary to stdout, wall-clock to stderr: two runs of the same scenario
+    # must produce byte-identical stdout regardless of --jobs/--checkpoint-at.
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"wall-clock: {time.time() - started:.2f} s", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "validate": _cmd_validate,
+        "compile": _cmd_compile,
+        "run": _cmd_run,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Compile a calibrated workload trace into a runnable scenario.
+
+The compiler is the last loadgen stage: it takes a
+:class:`~repro.loadgen.trace.WorkloadTrace` plus the
+:class:`~repro.loadgen.calibrate.CalibrationResult` that mapped its tenants
+onto ``syn-…-x<mult>`` applications, and emits an ordinary
+:class:`~repro.scenario.ScenarioSpec` whose ``arrivals=`` section carries one
+``replay`` tenant per trace tenant (the tenant's interarrival-gap list,
+``wrap=False`` so the trace's request count is exact).  Nothing downstream
+changes: :class:`~repro.serving.driver.ServingDriver` replays the gaps
+through the ordinary arrival-process machinery,
+:class:`~repro.cluster.fleet.GPUFleet` routes the same streams across member
+GPUs when a ``cluster=`` section is added, and serial / parallel /
+checkpoint-split executions of the compiled scenario stay byte-identical
+because replay streams are resumable cursors like every other process.
+
+The compiled spec is a pure function of ``(trace, calibration, options)`` —
+compiling the same trace twice yields identical scenario JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.loadgen.calibrate import CalibrationResult
+from repro.loadgen.trace import WorkloadTrace
+from repro.scenario import ScenarioSpec, SchemeSpec
+
+#: Scheme used when the caller does not pick one: priority preemptive
+#: scheduling with context-switch preemption — the paper's headline scheme.
+DEFAULT_SCHEME = SchemeSpec(policy="ppq", mechanism="context_switch")
+
+
+def compile_serving_scenario(
+    trace: WorkloadTrace,
+    calibration: CalibrationResult,
+    *,
+    scheme: Optional[SchemeSpec] = None,
+    admission: str = "drop",
+    queue_capacity: int = 64,
+    max_inflight: int = 8,
+    warmup_us: float = 0.0,
+    slo: Optional[Mapping[str, Any]] = None,
+    cluster: Optional[Mapping[str, Any]] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
+    validate: bool = False,
+    workload_id: int = 0,
+) -> ScenarioSpec:
+    """Emit the :class:`ScenarioSpec` that serves ``trace`` as calibrated.
+
+    Tenant ``i`` of the trace becomes application slot ``i`` running the app
+    ``calibration.apps[tenant.name]`` behind a non-wrapping ``replay``
+    arrival stream carrying the tenant's gap list; tenant priorities ride
+    into the per-tenant specs.  The scenario horizon is the trace horizon
+    and the workload scale is the calibration's probe scale, so offered
+    load meets service capacity exactly as fitted.
+    """
+    if scheme is None:
+        scheme = DEFAULT_SCHEME
+    missing = [t.name for t in trace.tenants if t.name not in calibration.apps]
+    if missing:
+        raise ValueError(
+            f"calibration does not cover trace tenant(s): {missing} "
+            "(was it fitted against a different trace?)"
+        )
+    empty = [t.name for t in trace.tenants if not t.arrivals_us]
+    if empty:
+        raise ValueError(
+            f"trace tenant(s) with no arrivals cannot be compiled: {empty} "
+            "(replay needs a non-empty gap list)"
+        )
+
+    applications = [calibration.apps[t.name] for t in trace.tenants]
+    tenant_specs = []
+    for slot, tenant in enumerate(trace.tenants):
+        tenant_specs.append(
+            {
+                "process": "replay",
+                "seed": slot,
+                "priority": tenant.priority,
+                "interarrival_us": tenant.gaps_us(),
+                "wrap": False,
+            }
+        )
+    arrivals: Dict[str, Any] = {
+        "horizon_us": trace.horizon_us,
+        "admission": admission,
+        "queue_capacity": int(queue_capacity),
+        "max_inflight": int(max_inflight),
+        "tenants": tenant_specs,
+    }
+    if warmup_us > 0.0:
+        arrivals["warmup_us"] = float(warmup_us)
+
+    return ScenarioSpec(
+        scheme=scheme,
+        applications=tuple(applications),
+        workload_id=workload_id,
+        scale=calibration.scale,
+        arrivals=arrivals,
+        slo=slo,
+        cluster=cluster,
+        metrics=metrics,
+        validate=validate,
+    )
+
+
+__all__ = ["DEFAULT_SCHEME", "compile_serving_scenario"]

@@ -1,0 +1,303 @@
+"""The workload-trace model: frozen, JSON-round-trippable request traces.
+
+A :class:`WorkloadTrace` is the load generator's interchange format: one
+record per *tenant* (a user population hitting the GPU through one arrival
+stream) holding the tenant's absolute arrival timestamps, per-request size
+samples and scheduling priority.  Traces are frozen dataclasses that
+round-trip through plain dictionaries / JSON like
+:class:`~repro.scenario.ScenarioSpec`, and additionally through a compact
+JSONL on-disk format (:func:`save_trace` / :func:`load_trace`): one header
+line followed by one line per tenant, each a compact sorted-key JSON object,
+so a write → load → write cycle is *byte-identical* — the property the
+loadgen test-suite pins.
+
+Traces come from two places: synthesized by a registered trace source
+(:data:`repro.registry.TRACE_SOURCES`, see :mod:`repro.loadgen.synth`) or
+ingested from a file that some external system produced in this format.
+Either way the downstream pipeline is the same:
+:mod:`repro.loadgen.calibrate` maps the size samples onto kernel-grid
+multipliers, :mod:`repro.loadgen.validate` checks the arrival statistics and
+:mod:`repro.loadgen.compile` emits a runnable
+:class:`~repro.scenario.ScenarioSpec`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+#: Version tag of the trace payload (bumped on incompatible changes).
+TRACE_SCHEMA = 1
+#: The ``kind`` marker of the JSONL header line.
+TRACE_KIND = "workload-trace"
+
+
+def _round3(value: float) -> float:
+    return round(float(value), 3)
+
+
+@dataclass(frozen=True)
+class TraceTenant:
+    """One tenant's request stream within a workload trace."""
+
+    #: Tenant identifier (unique within the trace).
+    name: str
+    #: Absolute arrival timestamps (µs), non-decreasing, within the horizon.
+    arrivals_us: Tuple[float, ...]
+    #: Dimensionless request-size samples, one per arrival, all positive.
+    #: Calibration maps these onto kernel-grid multipliers.
+    sizes: Tuple[float, ...]
+    #: Scheduling priority of the tenant's requests.
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        object.__setattr__(
+            self, "arrivals_us", tuple(_round3(t) for t in self.arrivals_us)
+        )
+        object.__setattr__(self, "sizes", tuple(_round3(s) for s in self.sizes))
+        if len(self.sizes) != len(self.arrivals_us):
+            raise ValueError(
+                f"tenant {self.name!r}: {len(self.sizes)} sizes for "
+                f"{len(self.arrivals_us)} arrivals"
+            )
+        previous = 0.0
+        for t in self.arrivals_us:
+            if t < previous:
+                raise ValueError(f"tenant {self.name!r}: arrivals must be non-decreasing")
+            previous = t
+        if any(t < 0 for t in self.arrivals_us):
+            raise ValueError(f"tenant {self.name!r}: arrivals must be non-negative")
+        if any(s <= 0 for s in self.sizes):
+            raise ValueError(f"tenant {self.name!r}: sizes must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def gaps_us(self) -> List[float]:
+        """Interarrival gaps (µs); the first gap is the first arrival time."""
+        gaps: List[float] = []
+        previous = 0.0
+        for t in self.arrivals_us:
+            gaps.append(_round3(t - previous))
+            previous = t
+        return gaps
+
+    def mean_size(self) -> float:
+        """Mean request size (1.0 when the tenant has no arrivals)."""
+        return sum(self.sizes) / len(self.sizes) if self.sizes else 1.0
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        return {
+            "name": self.name,
+            "arrivals_us": list(self.arrivals_us),
+            "sizes": list(self.sizes),
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceTenant":
+        """Rebuild a tenant from :meth:`to_dict` output."""
+        unknown = set(payload) - {"name", "arrivals_us", "sizes", "priority"}
+        if unknown:
+            raise ValueError(f"unknown TraceTenant keys: {sorted(unknown)}")
+        return cls(
+            name=str(payload["name"]),
+            arrivals_us=tuple(payload["arrivals_us"]),
+            sizes=tuple(payload["sizes"]),
+            priority=int(payload.get("priority", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A complete workload trace: per-tenant request streams over a horizon."""
+
+    #: Human-readable trace name (rides into compiled scenario reports).
+    name: str
+    #: Trace horizon (µs); every arrival falls in ``[0, horizon_us]``.
+    horizon_us: float
+    #: Per-tenant streams, in a stable order.
+    tenants: Tuple[TraceTenant, ...]
+    #: Registry name of the synthesizing source (``""`` = ingested trace).
+    source: str = ""
+    #: Source parameters the trace was synthesized from (JSON-canonical).
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("trace name must be non-empty")
+        object.__setattr__(self, "horizon_us", _round3(self.horizon_us))
+        if self.horizon_us <= 0:
+            raise ValueError("horizon_us must be positive")
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        if not self.tenants:
+            raise ValueError("a trace needs at least one tenant")
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant names must be unique")
+        for tenant in self.tenants:
+            if tenant.arrivals_us and tenant.arrivals_us[-1] > self.horizon_us:
+                raise ValueError(
+                    f"tenant {tenant.name!r} has arrivals past the horizon"
+                )
+        object.__setattr__(
+            self, "params", json.loads(json.dumps(dict(self.params), sort_keys=True))
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_arrivals(self) -> int:
+        """Total request count across all tenants."""
+        return sum(len(tenant.arrivals_us) for tenant in self.tenants)
+
+    def mean_rate_per_us(self) -> float:
+        """Aggregate offered arrival rate (requests per simulated µs)."""
+        return self.total_arrivals / self.horizon_us
+
+    def pooled_gaps_us(self) -> List[float]:
+        """Every tenant's interarrival gaps, concatenated in tenant order.
+
+        The pooled per-stream gap sample is what validation compares across
+        traces — it is the quantity the arrival processes actually draw.
+        """
+        gaps: List[float] = []
+        for tenant in self.tenants:
+            gaps.extend(tenant.gaps_us())
+        return gaps
+
+    # ------------------------------------------------------------------
+    # Serialisation (dict / JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "kind": TRACE_KIND,
+            "name": self.name,
+            "horizon_us": self.horizon_us,
+            "source": self.source,
+            "params": dict(self.params),
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WorkloadTrace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        schema = int(payload.get("schema", -1))
+        if schema != TRACE_SCHEMA:
+            raise ValueError(f"unsupported trace schema {schema!r}")
+        kind = payload.get("kind", TRACE_KIND)
+        if kind != TRACE_KIND:
+            raise ValueError(f"not a workload trace (kind={kind!r})")
+        unknown = set(payload) - {
+            "schema", "kind", "name", "horizon_us", "source", "params", "tenants"
+        }
+        if unknown:
+            raise ValueError(f"unknown WorkloadTrace keys: {sorted(unknown)}")
+        return cls(
+            name=str(payload["name"]),
+            horizon_us=float(payload["horizon_us"]),
+            tenants=tuple(
+                TraceTenant.from_dict(tenant) for tenant in payload["tenants"]
+            ),
+            source=str(payload.get("source", "")),
+            params=dict(payload.get("params", {})),
+        )
+
+    def to_json(self) -> str:
+        """JSON form."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadTrace":
+        """Rebuild a trace from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Serialisation (JSONL file format)
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The compact JSONL on-disk form: header line + one line per tenant.
+
+        Keys are sorted and separators compact, so the same trace always
+        serialises to the same bytes (write → load → write is identity).
+        """
+        header = {
+            "schema": TRACE_SCHEMA,
+            "kind": TRACE_KIND,
+            "name": self.name,
+            "horizon_us": self.horizon_us,
+            "source": self.source,
+            "params": dict(self.params),
+            "tenants": len(self.tenants),
+        }
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        for tenant in self.tenants:
+            lines.append(
+                json.dumps(tenant.to_dict(), sort_keys=True, separators=(",", ":"))
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "WorkloadTrace":
+        """Rebuild a trace from :meth:`to_jsonl` output."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("empty trace file")
+        header = json.loads(lines[0])
+        if not isinstance(header, dict):
+            raise ValueError("trace header must be a JSON object")
+        if int(header.get("schema", -1)) != TRACE_SCHEMA:
+            raise ValueError(f"unsupported trace schema {header.get('schema')!r}")
+        if header.get("kind") != TRACE_KIND:
+            raise ValueError(f"not a workload trace (kind={header.get('kind')!r})")
+        expected = int(header["tenants"])
+        tenant_lines = lines[1:]
+        if len(tenant_lines) != expected:
+            raise ValueError(
+                f"trace header promises {expected} tenant(s), "
+                f"file has {len(tenant_lines)}"
+            )
+        return cls(
+            name=str(header["name"]),
+            horizon_us=float(header["horizon_us"]),
+            tenants=tuple(
+                TraceTenant.from_dict(json.loads(line)) for line in tenant_lines
+            ),
+            source=str(header.get("source", "")),
+            params=dict(header.get("params", {})),
+        )
+
+
+def save_trace(trace: WorkloadTrace, path: str) -> None:
+    """Write ``trace`` to ``path`` in the JSONL on-disk format."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(trace.to_jsonl())
+
+
+def load_trace(path: str) -> WorkloadTrace:
+    """Load a trace written by :func:`save_trace` (or an external producer)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return WorkloadTrace.from_jsonl(handle.read())
+
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TRACE_KIND",
+    "TraceTenant",
+    "WorkloadTrace",
+    "save_trace",
+    "load_trace",
+]

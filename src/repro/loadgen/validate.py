@@ -1,0 +1,233 @@
+"""Statistical validation of workload traces (KS / mean / CV / tail index).
+
+The validator answers two questions the ROADMAP's trace-tooling item poses
+(in the spirit of ``compare_workload_to_azure.py``):
+
+* *does a synthesized trace match its reference?* —
+  :func:`compare_traces` computes the two-sample Kolmogorov–Smirnov
+  statistic over pooled interarrival gaps plus relative mean-rate, CV and
+  Hill tail-index errors, and judges them against documented thresholds
+  (:data:`DEFAULT_THRESHOLDS`);
+* *how far is a trace from Poisson?* — :func:`ks_to_exponential` measures
+  the one-sample KS distance between the trace's gaps and the exponential
+  distribution with the same mean, which is the headline "burstiness
+  distance" the ``trace_serving`` experiment reports.
+
+Everything here is pure arithmetic on gap lists — no SciPy, no sampling —
+so results are exactly reproducible across platforms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.loadgen.trace import WorkloadTrace
+
+#: Default acceptance thresholds for :func:`compare_traces`.  A synthesized
+#: trace "matches" its reference when the pooled-gap KS distance stays below
+#: ``ks_max`` and the relative mean-rate / CV / tail-index errors stay below
+#: their bounds.  The KS bound is deliberately loose (0.15): the samples are
+#: finite, the sources heavy-tailed, and we are matching a *family*, not
+#: fitting a curve.  The loadgen test-suite pins these numbers.
+DEFAULT_THRESHOLDS: Mapping[str, float] = {
+    "ks_max": 0.15,
+    "mean_rate_rel_max": 0.25,
+    "cv_rel_max": 0.35,
+    "tail_index_rel_max": 0.45,
+}
+
+#: Fraction of the largest gap samples fed to the Hill tail estimator.
+HILL_TAIL_FRACTION = 0.1
+
+
+def ks_statistic(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (sup |F_a - F_b|)."""
+    if not sample_a or not sample_b:
+        raise ValueError("KS statistic needs two non-empty samples")
+    a = sorted(sample_a)
+    b = sorted(sample_b)
+    na, nb = len(a), len(b)
+    i = j = 0
+    d = 0.0
+    while i < na and j < nb:
+        # Advance past ties on both sides together, so equal values move
+        # both empirical CDFs before the gap is measured.
+        value = a[i] if a[i] <= b[j] else b[j]
+        while i < na and a[i] == value:
+            i += 1
+        while j < nb and b[j] == value:
+            j += 1
+        d = max(d, abs(i / na - j / nb))
+    return d
+
+
+def ks_to_exponential(gaps: Sequence[float]) -> float:
+    """One-sample KS distance between ``gaps`` and Exp(mean(gaps)).
+
+    Zero for a perfectly Poisson stream; grows with burstiness/heavy tails.
+    Zero-length gaps (coincident arrivals) are counted at CDF value 0.
+    """
+    values = [g for g in gaps if g >= 0]
+    if not values:
+        raise ValueError("ks_to_exponential needs a non-empty gap sample")
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return 1.0
+    values.sort()
+    n = len(values)
+    d = 0.0
+    for k, g in enumerate(values):
+        model = 1.0 - math.exp(-g / mean)
+        d = max(d, abs((k + 1) / n - model), abs(k / n - model))
+    return d
+
+
+def hill_tail_index(
+    sample: Sequence[float], tail_fraction: float = HILL_TAIL_FRACTION
+) -> float:
+    """Hill estimator of the tail index alpha over the top ``tail_fraction``.
+
+    For Pareto(alpha) data the estimate converges to ``alpha``; larger
+    values mean lighter tails.  Returns ``inf`` when the tail carries no
+    spread (degenerate sample).
+    """
+    positives = sorted((x for x in sample if x > 0), reverse=True)
+    if len(positives) < 10:
+        raise ValueError("hill_tail_index needs at least 10 positive samples")
+    k = max(2, int(len(positives) * tail_fraction))
+    threshold = positives[k]
+    if threshold <= 0:
+        return math.inf
+    acc = 0.0
+    for x in positives[:k]:
+        acc += math.log(x / threshold)
+    if acc <= 0:
+        return math.inf
+    return k / acc
+
+
+def gap_stats(gaps: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of a gap sample: mean, CV, tail index, KS-to-exp."""
+    if not gaps:
+        raise ValueError("gap_stats needs a non-empty sample")
+    n = len(gaps)
+    mean = sum(gaps) / n
+    var = sum((g - mean) ** 2 for g in gaps) / n
+    cv = math.sqrt(var) / mean if mean > 0 else 0.0
+    try:
+        tail = hill_tail_index(gaps)
+    except ValueError:
+        tail = math.inf
+    return {
+        "count": float(n),
+        "mean_us": mean,
+        "cv": cv,
+        "tail_index": tail,
+        "ks_to_exponential": ks_to_exponential(gaps),
+    }
+
+
+def _rel_error(measured: float, reference: float) -> float:
+    if reference == 0:
+        return 0.0 if measured == 0 else math.inf
+    if math.isinf(reference):
+        return 0.0 if math.isinf(measured) else math.inf
+    return abs(measured - reference) / abs(reference)
+
+
+@dataclass(frozen=True)
+class TraceComparison:
+    """Outcome of :func:`compare_traces` (JSON-serialisable via to_dict)."""
+
+    #: Two-sample KS statistic over pooled interarrival gaps.
+    ks: float
+    #: Relative error of aggregate mean arrival rate.
+    mean_rate_rel: float
+    #: Relative error of pooled-gap coefficient of variation.
+    cv_rel: float
+    #: Relative error of the Hill tail index.
+    tail_index_rel: float
+    #: Gap statistics of the candidate trace.
+    candidate_stats: Mapping[str, float]
+    #: Gap statistics of the reference trace.
+    reference_stats: Mapping[str, float]
+    #: Thresholds the comparison was judged against.
+    thresholds: Mapping[str, float]
+
+    @property
+    def ok(self) -> bool:
+        """True when every metric is within its threshold."""
+        return not self.failures()
+
+    def failures(self) -> List[str]:
+        """Human-readable list of threshold violations (empty = match)."""
+        t = self.thresholds
+        out: List[str] = []
+        if self.ks > t["ks_max"]:
+            out.append(f"KS {self.ks:.4f} > {t['ks_max']}")
+        if self.mean_rate_rel > t["mean_rate_rel_max"]:
+            out.append(
+                f"mean-rate error {self.mean_rate_rel:.4f} > {t['mean_rate_rel_max']}"
+            )
+        if self.cv_rel > t["cv_rel_max"]:
+            out.append(f"CV error {self.cv_rel:.4f} > {t['cv_rel_max']}")
+        if self.tail_index_rel > t["tail_index_rel_max"]:
+            out.append(
+                f"tail-index error {self.tail_index_rel:.4f} > {t['tail_index_rel_max']}"
+            )
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        return {
+            "ok": self.ok,
+            "ks": self.ks,
+            "mean_rate_rel": self.mean_rate_rel,
+            "cv_rel": self.cv_rel,
+            "tail_index_rel": self.tail_index_rel,
+            "failures": self.failures(),
+            "candidate_stats": dict(self.candidate_stats),
+            "reference_stats": dict(self.reference_stats),
+            "thresholds": dict(self.thresholds),
+        }
+
+
+def compare_traces(
+    candidate: WorkloadTrace,
+    reference: WorkloadTrace,
+    thresholds: Mapping[str, float] = DEFAULT_THRESHOLDS,
+) -> TraceComparison:
+    """Compare ``candidate`` against ``reference`` over pooled gaps."""
+    merged = dict(DEFAULT_THRESHOLDS)
+    merged.update(thresholds)
+    cand_gaps = candidate.pooled_gaps_us()
+    ref_gaps = reference.pooled_gaps_us()
+    cand_stats = gap_stats(cand_gaps)
+    ref_stats = gap_stats(ref_gaps)
+    return TraceComparison(
+        ks=ks_statistic(cand_gaps, ref_gaps),
+        mean_rate_rel=_rel_error(
+            candidate.mean_rate_per_us(), reference.mean_rate_per_us()
+        ),
+        cv_rel=_rel_error(cand_stats["cv"], ref_stats["cv"]),
+        tail_index_rel=_rel_error(
+            cand_stats["tail_index"], ref_stats["tail_index"]
+        ),
+        candidate_stats=cand_stats,
+        reference_stats=ref_stats,
+        thresholds=merged,
+    )
+
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "HILL_TAIL_FRACTION",
+    "TraceComparison",
+    "compare_traces",
+    "gap_stats",
+    "hill_tail_index",
+    "ks_statistic",
+    "ks_to_exponential",
+]

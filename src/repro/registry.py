@@ -15,7 +15,9 @@ Six registries replace the old hard-coded ``make_policy`` /
   layer (``poisson``, ``mmpp``, ``lognormal``, ``pareto``, ``replay``),
 * :data:`ROUTERS` — cluster request routers placing admitted requests on
   fleet member GPUs (``round_robin``, ``least_loaded``, ``tenant_affinity``,
-  ``priority_spill``).
+  ``priority_spill``),
+* :data:`TRACE_SOURCES` — workload-trace synthesizers for the trace-driven
+  load generator (``azure_faas``, ``pareto_burst``, ``lognormal_diurnal``).
 
 The built-in components register themselves with the
 :func:`register_policy` / :func:`register_mechanism` /
@@ -248,6 +250,10 @@ def _load_builtin_exporters() -> None:
     import repro.obs.exporters  # noqa: F401
 
 
+def _load_builtin_trace_sources() -> None:
+    import repro.loadgen.synth  # noqa: F401
+
+
 POLICIES = ComponentRegistry("scheduling policy", _load_builtin_policies)
 MECHANISMS = ComponentRegistry("preemption mechanism", _load_builtin_mechanisms)
 CONTROLLERS = ComponentRegistry("preemption controller", _load_builtin_controllers)
@@ -257,6 +263,7 @@ TRANSFER_POLICIES = ComponentRegistry(
 ARRIVALS = ComponentRegistry("arrival process", _load_builtin_arrivals)
 ROUTERS = ComponentRegistry("cluster router", _load_builtin_routers)
 EXPORTERS = ComponentRegistry("metrics exporter", _load_builtin_exporters)
+TRACE_SOURCES = ComponentRegistry("trace source", _load_builtin_trace_sources)
 
 
 def register_policy(name: str, *aliases: str, **kwargs):
@@ -294,6 +301,11 @@ def register_router(name: str, *aliases: str, **kwargs):
     return ROUTERS.register(name, *aliases, **kwargs)
 
 
+def register_trace_source(name: str, *aliases: str, **kwargs):
+    """Register a workload-trace synthesizer (decorator)."""
+    return TRACE_SOURCES.register(name, *aliases, **kwargs)
+
+
 __all__ = [
     "ComponentRegistry",
     "RegistryEntry",
@@ -306,6 +318,7 @@ __all__ = [
     "ARRIVALS",
     "ROUTERS",
     "EXPORTERS",
+    "TRACE_SOURCES",
     "register_policy",
     "register_mechanism",
     "register_controller",
@@ -313,4 +326,5 @@ __all__ = [
     "register_arrival",
     "register_router",
     "register_exporter",
+    "register_trace_source",
 ]

@@ -247,11 +247,19 @@ class ParetoArrivals(ArrivalProcess):
     description="replay an explicit interarrival-gap list (trace-file source)",
 )
 class ReplayArrivals(ArrivalProcess):
-    """Replays a fixed gap list, cycling by default.
+    """Replays a fixed gap list, wrapping around by default.
 
-    The bridge to future trace-file workloads (e.g. production arrival
-    traces): the gaps ride through scenario JSON verbatim, so a replayed
-    stream is exactly as reproducible and resumable as a synthetic one.
+    The bridge to trace-file workloads (:mod:`repro.loadgen`): the gaps ride
+    through scenario JSON verbatim, so a replayed stream is exactly as
+    reproducible and resumable as a synthetic one.
+
+    Exhaustion behavior is explicit: ``wrap=True`` (the default, and the
+    behavior replay has always had) cycles the gap list for as long as the
+    run asks for arrivals; ``wrap=False`` halts the stream once the list is
+    exhausted — every further gap is :data:`MAX_GAP_US`, pushing the next
+    arrival past any finite horizon.  Compiled workload traces use
+    ``wrap=False`` so a trace's request count is exact.  ``cycle`` is the
+    original name of the same switch and remains accepted as an alias.
     """
 
     name = "replay"
@@ -262,7 +270,8 @@ class ReplayArrivals(ArrivalProcess):
         seed: int = 0,
         mean_interarrival_us: float = 100.0,
         interarrival_us: Optional[Sequence[float]] = None,
-        cycle: bool = True,
+        wrap: Optional[bool] = None,
+        cycle: Optional[bool] = None,
     ):
         super().__init__(seed=seed, mean_interarrival_us=mean_interarrival_us)
         gaps: List[float] = [float(g) for g in (interarrival_us or [])]
@@ -271,14 +280,33 @@ class ReplayArrivals(ArrivalProcess):
         if any(g < 0 for g in gaps):
             raise ValueError("interarrival gaps must be non-negative")
         self.gaps = gaps
-        self.cycle = bool(cycle)
+        if wrap is not None and cycle is not None and bool(wrap) != bool(cycle):
+            raise ValueError(
+                "wrap and cycle are the same switch; pass one (or equal values)"
+            )
+        resolved = wrap if wrap is not None else cycle
+        self.wrap = True if resolved is None else bool(resolved)
+
+    @property
+    def cycle(self) -> bool:
+        """Legacy name of :attr:`wrap` (kept for pre-loadgen callers)."""
+        return self.wrap
 
     def _gap_us(self, index: int) -> float:
-        if index >= len(self.gaps) and not self.cycle:
-            # Past the end of a non-cycling trace: push the next arrival
+        if index >= len(self.gaps) and not self.wrap:
+            # Past the end of a non-wrapping trace: push the next arrival
             # beyond any finite horizon.
             return MAX_GAP_US
         return self.gaps[index % len(self.gaps)]
+
+    def state(self) -> Dict[str, Any]:
+        return {"index": self._index, "wrap": self.wrap}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        super().restore(state)
+        # Pre-wrap checkpoints carry no flag; the constructor value stands.
+        if "wrap" in state:
+            self.wrap = bool(state["wrap"])
 
 
 def make_arrival_process(kind: str, **options) -> ArrivalProcess:

@@ -356,6 +356,61 @@ def generate_synthetic_arrivals(seed: int, num_processes: int) -> tuple:
     return arrivals, slo
 
 
+#: Trace sources sampled by the trace-driven fuzzer dimension.
+TRACE_SOURCE_KINDS = ("azure_faas", "pareto_burst", "lognormal_diurnal")
+
+
+def generate_synthetic_trace_arrivals(seed: int, num_processes: int) -> tuple:
+    """Derive an ``(arrivals, slo)`` pair driven by a synthesized trace.
+
+    The trace-driven sibling of :func:`generate_synthetic_arrivals`: a
+    seed-derived :data:`repro.registry.TRACE_SOURCES` synthesizer builds a
+    :class:`~repro.loadgen.trace.WorkloadTrace`, whose per-tenant gap lists
+    become non-wrapping ``replay`` tenants.  Every draw is key-addressed
+    under fresh ``td_*`` keys, so enabling the trace-driven dimension never
+    disturbs the closed-loop, open-loop or cluster draws of the same seed
+    (existing goldens stay byte-identical).
+    """
+    from repro.loadgen.synth import synthesize_trace  # local: avoids cycle
+
+    horizon_us = round(6_000.0 + _u(seed, "td_horizon") * 9_000.0, 3)
+    trace = synthesize_trace(
+        _pick(TRACE_SOURCE_KINDS, seed, "td_source"),
+        seed=_int_between(0, 9_999, seed, "td_seed"),
+        horizon_us=horizon_us,
+        num_tenants=num_processes,
+        mean_interarrival_us=round(150.0 + _u(seed, "td_mean") * 600.0, 3),
+    )
+    tenants = []
+    for i, tenant in enumerate(trace.tenants):
+        gaps = tenant.gaps_us()
+        if not gaps:
+            # A tenant whose stream drew no arrivals inside the horizon:
+            # one past-horizon gap keeps replay's non-empty invariant while
+            # still producing zero requests.
+            gaps = [round(horizon_us + 1.0, 3)]
+        spec = {
+            "process": "replay",
+            "seed": i,
+            "interarrival_us": gaps,
+            "wrap": False,
+        }
+        if tenant.priority:
+            spec["priority"] = tenant.priority
+        tenants.append(spec)
+    arrivals = {
+        "horizon_us": horizon_us,
+        "warmup_us": round(horizon_us * 0.125, 3),
+        "window_us": round(horizon_us * 0.25, 3),
+        "queue_capacity": _int_between(4, 32, seed, "td_capacity"),
+        "admission": _pick(ARRIVAL_ADMISSIONS, seed, "td_admission"),
+        "max_inflight": _int_between(1, 6, seed, "td_inflight"),
+        "tenants": tenants,
+    }
+    slo = {"default": round(200.0 + _u(seed, "td_slo") * 2_000.0, 3)}
+    return arrivals, slo
+
+
 #: Routers sampled by the cluster fuzzer dimension.
 CLUSTER_ROUTERS = ("round_robin", "least_loaded", "tenant_affinity", "priority_spill")
 
@@ -394,6 +449,7 @@ def generate_synthetic_scenario(
     config_overrides: Optional[dict] = None,
     open_loop: bool = False,
     cluster: bool = False,
+    trace_driven: bool = False,
     metrics: Optional[dict] = None,
 ) -> ScenarioSpec:
     """Derive one complete multiprogram scenario from an integer seed.
@@ -416,6 +472,12 @@ def generate_synthetic_scenario(
     ``cluster=`` section (fleet size, router, epoch length), turning the
     scenario into a multi-GPU fleet run (see :mod:`repro.cluster`); its
     draws are likewise fresh-keyed.
+
+    ``trace_driven`` (implies ``open_loop``) replaces the synthetic arrival
+    processes with non-wrapping ``replay`` streams fed by a seed-derived
+    workload trace (:mod:`repro.loadgen.synth`) — the fuzzer's hook into the
+    trace pipeline.  Its draws use fresh ``td_*`` keys, so every other
+    dimension of the same seed is unchanged.  Composes with ``cluster``.
     """
     if seed < 0:
         raise ValueError("seed must be non-negative")
@@ -434,7 +496,9 @@ def generate_synthetic_scenario(
         high_priority_index = None
         high_priority = 10
     arrivals = slo = cluster_section = None
-    if open_loop or cluster:
+    if trace_driven:
+        arrivals, slo = generate_synthetic_trace_arrivals(seed, num_processes)
+    elif open_loop or cluster:
         arrivals, slo = generate_synthetic_arrivals(seed, num_processes)
     if cluster:
         cluster_section = generate_synthetic_cluster(seed, arrivals["horizon_us"])

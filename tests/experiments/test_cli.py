@@ -16,7 +16,7 @@ def test_parser_knows_every_experiment():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "figure2", "figure5", "figure6", "figure7", "figure8",
         "synthetic", "preemption_latency", "mechanism_choice", "scale",
-        "serving", "fleet", "slo_preemption",
+        "serving", "fleet", "slo_preemption", "trace_serving",
     }
 
 
@@ -196,6 +196,15 @@ def test_main_list_prints_controllers_with_descriptions_and_aliases(capsys):
         assert alias in printed
     # Descriptions ride along (first docstring line of each controller).
     assert "Deadline-bounded draining" in printed
+
+
+def test_main_list_prints_trace_sources(capsys):
+    assert main(["--list"]) == 0
+    printed = capsys.readouterr().out
+    assert "Trace sources:" in printed
+    for source in ("azure_faas", "pareto_burst", "lognormal_diurnal"):
+        assert source in printed
+    assert "faas" in printed  # alias rides along
 
 
 def test_unknown_controller_errors_with_close_match_suggestion():

@@ -1,0 +1,87 @@
+"""Calibration: service-time probes and the size→multiplier fit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen.calibrate import (
+    CalibrationResult,
+    calibrate_trace,
+    probe_service_time_us,
+)
+from repro.loadgen.synth import synthesize_trace
+from repro.workloads.synthetic import parse_synthetic_app, synthetic_block_multiplier
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_trace(
+        "azure_faas", seed=3, horizon_us=60_000.0, num_tenants=4,
+        mean_interarrival_us=400.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def calibration(trace):
+    return calibrate_trace(
+        trace, app_seed=0, num_apps=3, scale="smoke", target_utilization=0.6
+    )
+
+
+class TestProbe:
+    def test_probe_is_deterministic(self):
+        assert probe_service_time_us("syn-0-0", scale="smoke") == (
+            probe_service_time_us("syn-0-0", scale="smoke")
+        )
+
+    def test_service_time_grows_with_multiplier(self):
+        base = probe_service_time_us("syn-0-0", scale="smoke")
+        scaled = probe_service_time_us("syn-0-0-x64", scale="smoke")
+        assert scaled > 2.0 * base
+
+
+class TestFit:
+    def test_achieves_target_utilization_within_tolerance(self, calibration):
+        target = calibration.target_utilization
+        assert abs(calibration.achieved_utilization - target) / target < 0.2
+
+    def test_every_tenant_is_mapped(self, trace, calibration):
+        assert set(calibration.apps) == {t.name for t in trace.tenants}
+        for app in calibration.apps.values():
+            seed, index = parse_synthetic_app(app)
+            assert seed == 0
+            assert 0 <= index < 3
+            assert 1 <= synthetic_block_multiplier(app) <= 128
+
+    def test_rates_match_the_trace(self, trace, calibration):
+        for tenant in trace.tenants:
+            expected = len(tenant.arrivals_us) / trace.horizon_us
+            assert calibration.rates_per_us[tenant.name] == pytest.approx(
+                expected, rel=1e-6
+            )
+
+    def test_fit_is_deterministic(self, trace, calibration):
+        again = calibrate_trace(
+            trace, app_seed=0, num_apps=3, scale="smoke", target_utilization=0.6
+        )
+        assert again.to_dict() == calibration.to_dict()
+
+    def test_invalid_arguments_rejected(self, trace):
+        with pytest.raises(ValueError, match="target_utilization"):
+            calibrate_trace(trace, target_utilization=0.0)
+        with pytest.raises(ValueError, match="num_apps"):
+            calibrate_trace(trace, num_apps=0)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, calibration):
+        payload = json.loads(json.dumps(calibration.to_dict()))
+        assert CalibrationResult.from_dict(payload) == calibration
+
+    def test_unknown_keys_rejected(self, calibration):
+        payload = calibration.to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown CalibrationResult keys"):
+            CalibrationResult.from_dict(payload)

@@ -1,0 +1,78 @@
+"""Golden-pinned trace_serving summary: the reference smoke-scale run.
+
+The ``trace_serving`` experiment's result table (admission counters and the
+P² p50/p95/p99 latency quantiles per scheme × stream), the calibration
+record and the driving trace's gap statistics (including its KS distance
+from Poisson) are frozen into ``tests/golden/trace_serving_smoke.json``.
+Any drift in trace synthesis, calibration, scenario compilation or the
+serving/metrics path shows up as a byte-level diff here.
+
+To regenerate after an *intentional* modelling change, run this module
+directly (``python tests/loadgen/test_golden_trace_serving.py``) and commit
+the updated
+fixture with an explanation of the drift.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.trace_serving import run as run_trace_serving
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+FIXTURE = GOLDEN_DIR / "trace_serving_smoke.json"
+
+
+def _compute():
+    result = run_trace_serving(ExperimentConfig(scale="smoke", validate=True))
+    return {
+        "headers": result.headers,
+        "rows": result.rows,
+        "calibration": result.series["calibration"],
+        "trace_stats": result.series["trace_stats"],
+        "notes": result.notes,
+        "violation_count": result.violation_count,
+    }
+
+
+@pytest.fixture(scope="module")
+def computed():
+    return json.loads(json.dumps(_compute(), sort_keys=True))
+
+
+def test_trace_serving_matches_golden_fixture(computed):
+    golden = json.loads(FIXTURE.read_text())
+    assert computed == golden, (
+        f"trace_serving output drifted from {FIXTURE}; if the modelling "
+        "change is intentional, regenerate the fixture (see module docstring)"
+    )
+
+
+def test_golden_fixture_passed_validation(computed):
+    assert computed["violation_count"] == 0
+    # Every scheme ran both streams and admitted traffic.
+    assert len(computed["rows"]) == 6
+    for row in computed["rows"]:
+        assert row[3] > 0  # admitted
+
+
+def test_golden_fixture_shows_burstiness_penalty(computed):
+    # The headline story: under every controller, the bursty trace's p99 is
+    # worse than its matched-rate Poisson twin's.
+    by_key = {(row[0], row[1]): row for row in computed["rows"]}
+    for scheme in ("ppq_static_cs", "ppq_hybrid", "ppq_adaptive"):
+        assert by_key[(scheme, "trace")][7] > by_key[(scheme, "poisson")][7]
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Rewrite the golden fixture from the current pipeline output."""
+    FIXTURE.write_text(json.dumps(_compute(), indent=2, sort_keys=True) + "\n")
+    print(f"regenerated {FIXTURE}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

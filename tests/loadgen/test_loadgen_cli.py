@@ -1,0 +1,131 @@
+"""The loadgen CLI: generate → validate → compile → run, all deterministic."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen.cli import main
+from repro.loadgen.trace import load_trace
+
+REFERENCE = "tests/data/reference_trace.jsonl"
+
+GENERATE_ARGS = [
+    "generate", "--source", "azure_faas", "--seed", "7",
+    "--horizon-us", "60000", "--tenants", "4",
+    "--mean-interarrival-us", "400",
+]
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.jsonl"
+    assert main(GENERATE_ARGS + ["--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def scenario_file(tmp_path_factory, trace_file):
+    path = tmp_path_factory.mktemp("cli") / "scenario.json"
+    assert main(["compile", str(trace_file), "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_regenerate_is_byte_identical(self, tmp_path, trace_file):
+        again = tmp_path / "again.jsonl"
+        assert main(GENERATE_ARGS + ["--out", str(again)]) == 0
+        assert again.read_bytes() == trace_file.read_bytes()
+
+    def test_options_reach_the_source(self, tmp_path, capsys):
+        out = tmp_path / "pareto.jsonl"
+        assert main([
+            "generate", "--source", "pareto_burst", "--seed", "3",
+            "--option", "tail_alpha=2.5", "--option", "burstiness=1.0",
+            "--out", str(out),
+        ]) == 0
+        trace = load_trace(str(out))
+        assert trace.params["tail_alpha"] == 2.5
+        assert trace.params["burstiness"] == 1.0
+        assert "arrivals" in capsys.readouterr().out
+
+    def test_malformed_option_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="KEY=VALUE"):
+            main(["generate", "--option", "oops", "--out", str(tmp_path / "t")])
+
+
+class TestValidate:
+    def test_matching_trace_exits_zero(self, trace_file, capsys):
+        code = main(["validate", str(trace_file), "--reference", REFERENCE])
+        assert code == 0
+        assert "match" in capsys.readouterr().out
+
+    def test_mismatch_exits_one(self, trace_file, capsys):
+        code = main([
+            "validate", str(trace_file), "--reference", REFERENCE,
+            "--ks-max", "0.0001",
+        ])
+        assert code == 1
+        assert "no match" in capsys.readouterr().out
+
+    def test_json_report_is_parseable(self, trace_file, capsys):
+        assert main([
+            "validate", str(trace_file), "--reference", REFERENCE, "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["ks"] < report["thresholds"]["ks_max"]
+
+
+class TestCompileAndRun:
+    def test_compiled_scenario_loads(self, scenario_file):
+        from repro.scenario import ScenarioSpec
+
+        scenario = ScenarioSpec.from_json(scenario_file.read_text())
+        assert scenario.arrivals is not None
+        assert all(
+            t["process"] == "replay" for t in scenario.arrivals["tenants"]
+        )
+
+    def test_recompile_is_byte_identical(self, tmp_path, trace_file, scenario_file):
+        again = tmp_path / "again.json"
+        assert main(["compile", str(trace_file), "--out", str(again)]) == 0
+        assert again.read_bytes() == scenario_file.read_bytes()
+
+    def test_run_twice_prints_identical_summaries(self, scenario_file, capsys):
+        assert main(["run", str(scenario_file)]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", str(scenario_file)]) == 0
+        assert capsys.readouterr().out == first
+        summary = json.loads(first)
+        assert summary["queue"]["arrived"] > 0
+
+    def test_checkpoint_split_matches_serial(self, scenario_file, capsys):
+        assert main(["run", str(scenario_file)]) == 0
+        serial = capsys.readouterr().out
+        assert main([
+            "run", str(scenario_file), "--checkpoint-at", "20000", "40000",
+        ]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_fleet_parallel_matches_serial(self, tmp_path, trace_file, capsys):
+        fleet = tmp_path / "fleet.json"
+        assert main([
+            "compile", str(trace_file), "--out", str(fleet),
+            "--cluster-gpus", "4",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["run", str(fleet)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", str(fleet), "--jobs", "4"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_checkpoint_rejected_for_fleet(self, tmp_path, trace_file, capsys):
+        fleet = tmp_path / "fleet.json"
+        assert main([
+            "compile", str(trace_file), "--out", str(fleet),
+            "--cluster-gpus", "2",
+        ]) == 0
+        with pytest.raises(SystemExit, match="serving scenarios only"):
+            main(["run", str(fleet), "--checkpoint-at", "1000"])

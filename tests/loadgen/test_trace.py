@@ -1,0 +1,133 @@
+"""The trace model: validation, round-trips, byte-identical JSONL."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen.trace import (
+    TRACE_SCHEMA,
+    TraceTenant,
+    WorkloadTrace,
+    load_trace,
+    save_trace,
+)
+
+
+def make_trace(**overrides) -> WorkloadTrace:
+    fields = {
+        "name": "demo",
+        "horizon_us": 1000.0,
+        "tenants": (
+            TraceTenant(name="a", arrivals_us=(10.0, 250.5, 700.0), sizes=(1.0, 0.5, 2.25)),
+            TraceTenant(name="b", arrivals_us=(5.0, 5.0), sizes=(1.5, 1.5), priority=10),
+        ),
+        "source": "unit",
+        "params": {"seed": 3, "alpha": 2.5},
+    }
+    fields.update(overrides)
+    return WorkloadTrace(**fields)
+
+
+class TestTenantValidation:
+    def test_arrivals_must_be_non_decreasing(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TraceTenant(name="t", arrivals_us=(5.0, 3.0), sizes=(1.0, 1.0))
+
+    def test_sizes_must_match_arrivals(self):
+        with pytest.raises(ValueError, match="sizes"):
+            TraceTenant(name="t", arrivals_us=(1.0,), sizes=(1.0, 2.0))
+
+    def test_sizes_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            TraceTenant(name="t", arrivals_us=(1.0,), sizes=(0.0,))
+
+    def test_values_are_rounded_to_3_decimals(self):
+        tenant = TraceTenant(
+            name="t", arrivals_us=(1.23456,), sizes=(0.99999,)
+        )
+        assert tenant.arrivals_us == (1.235,)
+        assert tenant.sizes == (1.0,)
+
+    def test_gaps_start_from_time_zero(self):
+        tenant = TraceTenant(name="t", arrivals_us=(10.0, 35.5), sizes=(1.0, 1.0))
+        assert tenant.gaps_us() == [10.0, 25.5]
+
+
+class TestTraceValidation:
+    def test_tenant_names_must_be_unique(self):
+        tenant = TraceTenant(name="x", arrivals_us=(1.0,), sizes=(1.0,))
+        with pytest.raises(ValueError, match="unique"):
+            WorkloadTrace(name="t", horizon_us=10.0, tenants=(tenant, tenant))
+
+    def test_arrivals_must_stay_within_horizon(self):
+        with pytest.raises(ValueError, match="past the horizon"):
+            make_trace(horizon_us=100.0)
+
+    def test_total_arrivals_and_mean_rate(self):
+        trace = make_trace()
+        assert trace.total_arrivals == 5
+        assert trace.mean_rate_per_us() == pytest.approx(5 / 1000.0)
+
+    def test_pooled_gaps_concatenate_in_tenant_order(self):
+        trace = make_trace()
+        assert trace.pooled_gaps_us() == [10.0, 240.5, 449.5, 5.0, 0.0]
+
+
+class TestRoundTrips:
+    def test_dict_round_trip(self):
+        trace = make_trace()
+        assert WorkloadTrace.from_dict(trace.to_dict()) == trace
+
+    def test_json_round_trip(self):
+        trace = make_trace()
+        assert WorkloadTrace.from_json(trace.to_json()) == trace
+
+    def test_jsonl_round_trip(self):
+        trace = make_trace()
+        assert WorkloadTrace.from_jsonl(trace.to_jsonl()) == trace
+
+    def test_unknown_trace_keys_rejected(self):
+        payload = make_trace().to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown WorkloadTrace keys"):
+            WorkloadTrace.from_dict(payload)
+
+    def test_unknown_tenant_keys_rejected(self):
+        payload = make_trace().to_dict()
+        payload["tenants"][0]["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown TraceTenant keys"):
+            WorkloadTrace.from_dict(payload)
+
+    def test_schema_mismatch_rejected(self):
+        payload = make_trace().to_dict()
+        payload["schema"] = TRACE_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            WorkloadTrace.from_dict(payload)
+
+    def test_jsonl_tenant_count_must_match_header(self):
+        lines = make_trace().to_jsonl().splitlines()
+        with pytest.raises(ValueError, match="promises"):
+            WorkloadTrace.from_jsonl("\n".join(lines[:-1]))
+
+
+class TestFileFormat:
+    def test_write_load_write_is_byte_identical(self, tmp_path):
+        trace = make_trace()
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        save_trace(trace, str(first))
+        loaded = load_trace(str(first))
+        save_trace(loaded, str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_jsonl_lines_are_compact_sorted_json(self):
+        text = make_trace().to_jsonl()
+        lines = text.splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "workload-trace"
+        assert header["tenants"] == 2
+        for line in lines:
+            payload = json.loads(line)
+            assert line == json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,78 @@
+"""Fuzzing the trace-driven dimension: replay scenarios from seed-derived traces.
+
+``generate_synthetic_scenario(trace_driven=True)`` swaps the open-loop
+fuzzer's synthetic arrival processes for non-wrapping ``replay`` streams fed
+by a seed-derived workload trace.  The draws use fresh ``td_*`` hash keys,
+so the closed-loop, open-loop and cluster dimensions of the same seed stay
+byte-identical — the fuzzer's key-freshness convention.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import BatchRunner
+from repro.workloads.synthetic import (
+    TRACE_SOURCE_KINDS,
+    generate_synthetic_scenario,
+)
+
+FUZZ_SEEDS = list(range(12))
+
+
+def _fuzz_scenario(seed: int, **kwargs):
+    return generate_synthetic_scenario(
+        seed, scale="smoke", validate=True, max_processes=4,
+        trace_driven=True, **kwargs,
+    )
+
+
+def test_trace_driven_scenarios_are_deterministic():
+    for seed in FUZZ_SEEDS:
+        assert _fuzz_scenario(seed).to_json() == _fuzz_scenario(seed).to_json()
+
+
+def test_every_tenant_is_a_non_wrapping_replay():
+    for seed in FUZZ_SEEDS:
+        scenario = _fuzz_scenario(seed)
+        for tenant in scenario.arrivals["tenants"]:
+            assert tenant["process"] == "replay"
+            assert tenant["wrap"] is False
+            assert len(tenant["interarrival_us"]) >= 1
+
+
+def test_trace_driven_draws_do_not_disturb_other_dimensions():
+    for seed in FUZZ_SEEDS:
+        open_loop = generate_synthetic_scenario(
+            seed, scale="smoke", validate=True, max_processes=4, open_loop=True
+        ).to_dict()
+        trace_driven = _fuzz_scenario(seed).to_dict()
+        # Only the arrivals/slo sections may differ; the closed-loop shape
+        # (applications, scheme, priorities, stagger) is untouched.
+        open_loop["arrivals"] = open_loop["slo"] = None
+        trace_driven["arrivals"] = trace_driven["slo"] = None
+        assert trace_driven == open_loop
+
+
+def test_fuzzed_scenarios_run_clean_through_serving():
+    records = BatchRunner(jobs=1).run(
+        [_fuzz_scenario(seed) for seed in FUZZ_SEEDS[:6]]
+    )
+    for record in records:
+        assert record.ok
+        assert record.violations == []
+        assert record.result.serving_summary is not None
+
+
+def test_trace_driven_composes_with_cluster():
+    scenario = _fuzz_scenario(3, cluster=True)
+    assert scenario.cluster is not None
+    assert scenario.arrivals["tenants"][0]["process"] == "replay"
+    records = BatchRunner(jobs=1).run([scenario])
+    assert records[0].ok and records[0].violations == []
+
+
+def test_source_pool_is_the_registered_builtins():
+    assert set(TRACE_SOURCE_KINDS) == {
+        "azure_faas", "pareto_burst", "lognormal_diurnal"
+    }

@@ -1,0 +1,109 @@
+"""Validation statistics: KS, Hill tail index, trace comparisons."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.loadgen.synth import synthesize_trace
+from repro.loadgen.validate import (
+    DEFAULT_THRESHOLDS,
+    compare_traces,
+    gap_stats,
+    hill_tail_index,
+    ks_statistic,
+    ks_to_exponential,
+)
+from repro.utils.determinism import hash_uniform
+
+
+def _uniforms(n, tag):
+    return [hash_uniform("test.validate", 0, tag, i) for i in range(n)]
+
+
+class TestKSStatistic:
+    def test_identical_samples_have_zero_distance(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert ks_statistic(sample, sample) == 0.0
+
+    def test_disjoint_samples_have_distance_one(self):
+        assert ks_statistic([1.0, 2.0], [10.0, 11.0]) == 1.0
+
+    def test_symmetry(self):
+        a = _uniforms(200, "a")
+        b = [2.0 * u for u in _uniforms(300, "b")]
+        assert ks_statistic(a, b) == pytest.approx(ks_statistic(b, a))
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], [1.0])
+
+
+class TestKSToExponential:
+    def test_exponential_sample_scores_low(self):
+        gaps = [-100.0 * math.log(1.0 - u) for u in _uniforms(2000, "exp")]
+        assert ks_to_exponential(gaps) < 0.05
+
+    def test_constant_sample_scores_high(self):
+        assert ks_to_exponential([5.0] * 100) > 0.3
+
+
+class TestHillTailIndex:
+    @pytest.mark.parametrize("alpha", [1.8, 2.5])
+    def test_recovers_pareto_alpha(self, alpha):
+        gaps = [1.0 / (1.0 - u) ** (1.0 / alpha) for u in _uniforms(5000, "par")]
+        assert hill_tail_index(gaps) == pytest.approx(alpha, rel=0.15)
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            hill_tail_index([1.0] * 5)
+
+
+class TestCompareTraces:
+    OPTIONS = dict(horizon_us=60_000.0, num_tenants=4, mean_interarrival_us=400.0)
+
+    def test_documented_default_thresholds(self):
+        # These numbers are the documented acceptance contract; changing
+        # them is an interface change, not a tweak.
+        assert DEFAULT_THRESHOLDS == {
+            "ks_max": 0.15,
+            "mean_rate_rel_max": 0.25,
+            "cv_rel_max": 0.35,
+            "tail_index_rel_max": 0.45,
+        }
+
+    def test_same_family_matches(self):
+        a = synthesize_trace("azure_faas", seed=7, **self.OPTIONS)
+        b = synthesize_trace("azure_faas", seed=1, **self.OPTIONS)
+        comparison = compare_traces(a, b)
+        assert comparison.ok, comparison.failures()
+
+    def test_different_family_fails_on_ks(self):
+        bursty = synthesize_trace("azure_faas", seed=7, **self.OPTIONS)
+        smooth = synthesize_trace(
+            "lognormal_diurnal", seed=7, sigma=0.3, diurnal_depth=0.0,
+            **self.OPTIONS,
+        )
+        comparison = compare_traces(smooth, bursty)
+        assert not comparison.ok
+        assert any("KS" in failure for failure in comparison.failures())
+
+    def test_comparison_serialises_to_json(self):
+        import json
+
+        a = synthesize_trace("pareto_burst", seed=3, **self.OPTIONS)
+        b = synthesize_trace("pareto_burst", seed=4, **self.OPTIONS)
+        payload = json.loads(json.dumps(compare_traces(a, b).to_dict()))
+        assert set(payload) >= {"ok", "ks", "failures", "thresholds"}
+
+
+class TestGapStats:
+    def test_reports_all_metrics(self):
+        trace = synthesize_trace("azure_faas", seed=5, horizon_us=40_000.0)
+        stats = gap_stats(trace.pooled_gaps_us())
+        assert set(stats) == {
+            "count", "mean_us", "cv", "tail_index", "ks_to_exponential"
+        }
+        assert stats["count"] == len(trace.pooled_gaps_us())
+        assert stats["mean_us"] > 0

@@ -124,6 +124,47 @@ def test_replay_validates_gaps():
         ReplayArrivals(interarrival_us=[1.0, -2.0])
 
 
+def test_replay_default_is_wrapping():
+    # Regression pin: replay has always cycled its gap list by default, and
+    # loadgen's wrap rename must not change that.
+    proc = ReplayArrivals(interarrival_us=[1.0, 2.0])
+    assert proc.wrap is True
+    assert proc.cycle is True  # legacy spelling reads the same switch
+    assert [proc.next_gap_us() for _ in range(5)] == [1.0, 2.0, 1.0, 2.0, 1.0]
+
+
+def test_replay_wrap_false_halts_on_exhaustion():
+    proc = ReplayArrivals(interarrival_us=[1.0, 2.0], wrap=False)
+    assert [proc.next_gap_us() for _ in range(3)] == [1.0, 2.0, MAX_GAP_US]
+    assert proc.next_gap_us() == MAX_GAP_US  # stays exhausted
+
+
+def test_replay_wrap_and_cycle_are_the_same_switch():
+    assert ReplayArrivals(interarrival_us=[1.0], cycle=False).wrap is False
+    assert ReplayArrivals(interarrival_us=[1.0], wrap=False, cycle=False).wrap is False
+    with pytest.raises(ValueError, match="same switch"):
+        ReplayArrivals(interarrival_us=[1.0], wrap=True, cycle=False)
+
+
+def test_replay_wrap_state_round_trips():
+    proc = ReplayArrivals(interarrival_us=[1.0, 2.0, 3.0], wrap=False)
+    proc.next_gap_us()
+    proc.next_gap_us()
+    state = proc.state()
+    assert state == {"index": 2, "wrap": False}
+
+    resumed = ReplayArrivals(interarrival_us=[1.0, 2.0, 3.0])
+    resumed.restore(state)
+    assert resumed.wrap is False
+    assert resumed.next_gap_us() == 3.0
+    assert resumed.next_gap_us() == MAX_GAP_US
+
+    # Pre-wrap checkpoints (no flag) leave the constructor's choice alone.
+    legacy = ReplayArrivals(interarrival_us=[1.0, 2.0], wrap=False)
+    legacy.restore({"index": 1})
+    assert legacy.wrap is False
+
+
 def test_non_positive_mean_rejected():
     with pytest.raises(ValueError):
         make_arrival_process("poisson", mean_interarrival_us=0.0)
