@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Event-queue microbenchmark: schedule/cancel/pop per implementation.
+
+Replays one deterministic operation trace — shaped like the traffic wave
+batching produces (an advancing clock, dense same-instant bursts, a cancel
+share for preempted timers) — against every registered
+:class:`~repro.sim.queues.EventQueue` implementation and records operations
+per wall-clock second for each.
+
+The trace is pre-generated outside the timed region, so the measurement is
+queue work (entry push, lazy dead-entry reclamation, ordered pop) plus the
+Event construction both engines share.  Results are merged into
+``BENCH_results.json`` (or ``--output``) under the ``queue_bench`` key;
+``benchmarks/compare_bench.py`` gates the entries against the committed
+``benchmarks/BENCH_baseline.json`` floors.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_queues.py                # full trace
+    PYTHONPATH=src python benchmarks/bench_queues.py --preset small # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import random
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.registry import EVENT_QUEUES  # noqa: E402 (PYTHONPATH)
+from repro.sim.events import Event
+from repro.utils.bench_results import merge_section
+
+#: Preset name -> number of trace operations replayed per implementation.
+PRESETS: Dict[str, int] = {
+    "small": 60_000,
+    "full": 400_000,
+}
+
+#: Offsets pushed relative to the advancing clock.  Duplicates are the
+#: point: same-instant bursts are what wave batching feeds the queue, and
+#: the near-1.0 pair lands in one tick bucket with distinct floats.
+_OFFSETS = (0.0, 0.0, 0.125, 1.0, 1.0, 1.0 + 2e-7, 2.5, 7.125, 40.0)
+
+_PUSH, _CANCEL, _POP = 0, 1, 2
+
+
+def _noop() -> None:
+    pass
+
+
+def generate_trace(operations: int, *, seed: int = 1234) -> List[Tuple[int, float, int]]:
+    """A deterministic (op, time_offset_index, priority) trace.
+
+    Roughly 55% pushes, 35% pops, 10% cancels — the simulator's steady
+    state — over a clock that advances every few operations so the calendar
+    queue sees the bucket locality a real run produces.
+    """
+    rng = random.Random(seed)
+    trace: List[Tuple[int, float, int]] = []
+    clock = 0.0
+    for index in range(operations):
+        if index % 7 == 0:
+            clock += rng.choice((0.5, 1.0, 2.0))
+        roll = rng.random()
+        if roll < 0.55:
+            trace.append((_PUSH, clock + rng.choice(_OFFSETS), rng.randint(0, 3)))
+        elif roll < 0.65:
+            trace.append((_CANCEL, 0.0, rng.randint(0, 2**30)))
+        else:
+            trace.append((_POP, 0.0, 0))
+    return trace
+
+
+def replay(queue_name: str, trace: List[Tuple[int, float, int]]) -> Dict[str, float]:
+    """Replay ``trace`` on a fresh queue; returns op counts and wall time."""
+    queue = EVENT_QUEUES.create(queue_name)
+    live: List[Tuple[float, int, int, Event]] = []  # push order, may hold dead
+    seq = 0
+    pushed = popped = cancelled = 0
+    started = time.perf_counter()
+    for kind, when, extra in trace:
+        if kind == _PUSH:
+            event = Event(when, extra, seq, _noop)
+            entry = (event.time, event.priority, seq, event)
+            seq += 1
+            queue.push(entry)
+            live.append(entry)
+            pushed += 1
+        elif kind == _CANCEL:
+            if live:
+                entry = live[extra % len(live)]
+                event = entry[3]
+                if not event.cancelled and not event.fired:
+                    event.cancel()
+                    queue.note_cancelled()
+                    cancelled += 1
+        else:
+            entry = queue.pop()
+            if entry is not None:
+                entry[3].fired = True
+                popped += 1
+    while True:
+        entry = queue.pop()
+        if entry is None:
+            break
+        entry[3].fired = True
+        popped += 1
+    wall = time.perf_counter() - started
+    assert popped + cancelled == pushed, "queue lost or duplicated entries"
+    assert len(queue) == 0
+    return {
+        "wall_s": wall,
+        "pushed": pushed,
+        "popped": popped,
+        "cancelled": cancelled,
+    }
+
+
+def run_benchmark(preset: str, *, repeats: int) -> Dict:
+    """Replay the preset trace on every registered queue implementation."""
+    operations = PRESETS[preset]
+    trace = generate_trace(operations)
+    results = {}
+    for queue_name in sorted(EVENT_QUEUES.names()):
+        best = None
+        for _ in range(max(1, repeats)):
+            sample = replay(queue_name, trace)
+            if best is None or sample["wall_s"] < best["wall_s"]:
+                best = sample
+        total_ops = best["pushed"] + best["popped"] + best["cancelled"]
+        key = f"queue_{queue_name}"
+        results[key] = {
+            "implementation": queue_name,
+            "trace_operations": operations,
+            "pushed": best["pushed"],
+            "popped": best["popped"],
+            "cancelled": best["cancelled"],
+            "wall_s": round(best["wall_s"], 4),
+            "events_per_sec": round(total_ops / best["wall_s"]) if best["wall_s"] else 0,
+        }
+        r = results[key]
+        print(
+            f"{key}: wall {r['wall_s']} s, {r['pushed']} pushed, "
+            f"{r['popped']} popped, {r['cancelled']} cancelled, "
+            f"{r['events_per_sec']:,} ops/s",
+            file=sys.stderr,
+        )
+    return {
+        "schema": 1,
+        "preset": preset,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "metric": (
+            "events_per_sec counts queue operations (push + pop + cancel) per "
+            "wall-clock second over one deterministic trace shared by every "
+            "implementation"
+        ),
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="full", help="trace size to replay"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed replays per implementation (best wins)"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.environ.get("BENCH_RESULTS_PATH", "BENCH_results.json"),
+        help="results file to merge into (default: BENCH_results.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_benchmark(args.preset, repeats=args.repeats)
+    merge_section(args.output, "queue_bench", payload)
+    print(f"queue_bench ({args.preset}) -> {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

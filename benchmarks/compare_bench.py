@@ -39,7 +39,17 @@ SECTIONS = (
     "fleet_bench",
     "obs_bench",
     "loadgen_bench",
+    "queue_bench",
 )
+
+
+def load_document(path: str) -> Dict:
+    """The whole JSON document of a bench file, validated to be an object."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return document
 
 
 def load_results(path: str) -> Dict[str, Dict]:
@@ -48,10 +58,11 @@ def load_results(path: str) -> Dict[str, Dict]:
     Entries from every gated section are pooled into one mapping (the entry
     keys — ``large_gpu_*``, ``serving_*`` — are disjoint by construction).
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
-    if not isinstance(document, dict):
-        raise ValueError(f"{path}: expected a JSON object")
+    return _results_of(load_document(path), path)
+
+
+def _results_of(document: Dict, path: str) -> Dict[str, Dict]:
+    """Pool the gated per-entry results out of a loaded bench document."""
     results: Dict[str, Dict] = {}
     for section in SECTIONS:
         payload = document.get(section)
@@ -93,6 +104,41 @@ def combine_candidates(
         else:
             combined[key]["events_per_sec"] = statistics.median(values)
     return combined
+
+
+def check_sharding_speedup(
+    documents: List[Dict], *, min_speedup: float = 1.0
+) -> int:
+    """Gate the ``fleet_bench`` ``sharding_speedup`` where it can exist.
+
+    Sharding runs fleet shards in worker processes, so on a multi-core
+    machine the sharded epoch must actually beat serial (best recorded
+    speedup >= ``min_speedup``).  A 1-CPU box cannot speed anything up —
+    the workers time-share one core and the IPC overhead records a <1x
+    "speedup" that is not a regression — so the expectation is SKIPPED
+    when the recorded ``cpu_count`` is 1 (or absent).  Returns the number
+    of failed expectations (0 or 1).
+    """
+    observed: List[float] = []
+    for document in documents:
+        payload = document.get("fleet_bench")
+        if not isinstance(payload, dict) or "sharding_speedup" not in payload:
+            continue
+        cpu_count = int(payload.get("cpu_count") or 0)
+        speedup = float(payload["sharding_speedup"])
+        if cpu_count <= 1:
+            print(
+                f"fleet sharding_speedup {speedup:.2f}x: SKIPPED "
+                f"(cpu_count={cpu_count}: a 1-CPU box records IPC-bound <1x)"
+            )
+            continue
+        observed.append(speedup)
+    if not observed:
+        return 0
+    best = max(observed)
+    status = "ok" if best >= min_speedup else "TOO SLOW"
+    print(f"fleet sharding_speedup: best {best:.2f}x (need >= {min_speedup:.2f}x) [{status}]")
+    return 0 if best >= min_speedup else 1
 
 
 def compare(
@@ -145,14 +191,27 @@ def main(argv=None) -> int:
         default="best",
         help="how to combine several candidate runs per entry (default: best)",
     )
+    parser.add_argument(
+        "--min-sharding-speedup",
+        type=float,
+        default=1.0,
+        help="required fleet_bench sharding_speedup on multi-core machines; "
+        "skipped when the candidate recorded cpu_count == 1 (default: 1.0)",
+    )
     args = parser.parse_args(argv)
     try:
+        documents = [load_document(path) for path in args.candidates]
+        candidate_results = [
+            _results_of(document, path)
+            for document, path in zip(documents, args.candidates)
+        ]
         regressions = compare(
             load_results(args.baseline),
-            combine_candidates(
-                [load_results(path) for path in args.candidates], stat=args.stat
-            ),
+            combine_candidates(candidate_results, stat=args.stat),
             max_regression=args.max_regression,
+        )
+        regressions += check_sharding_speedup(
+            documents, min_speedup=args.min_sharding_speedup
         )
     except (OSError, ValueError) as exc:
         print(f"ERROR: {exc}", file=sys.stderr)

@@ -65,6 +65,7 @@ def parboil_latency_scenarios(
                             scheme,
                             scale=config.scale,
                             validate=config.validate,
+                            queue=config.queue,
                             trace=True,
                         ),
                     )
@@ -102,6 +103,7 @@ def synthetic_latency_scenarios(
         seed=config.seed,
         scale=config.scale,
         validate=config.validate,
+        queue=config.queue,
         trace=True,
     )
     out: List[Tuple[str, ScenarioSpec]] = []

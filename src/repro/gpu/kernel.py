@@ -193,6 +193,62 @@ class KernelLaunch:
                 out.append(block)
         return out
 
+    def take_fresh_span(self, count: int) -> tuple[int, int]:
+        """Claim up to ``count`` never-issued blocks *without* materialising.
+
+        Returns ``(first_index, taken)``.  The vectorised issue path
+        (:mod:`repro.gpu.blockrun`) represents the claimed span as one
+        :class:`~repro.gpu.blockrun.BlockRun`; index assignment is identical
+        to :meth:`take_fresh_blocks`, and :meth:`materialise_span` recreates
+        the block objects on demand.
+        """
+        start = self._next_block_index
+        end = min(start + count, self.spec.num_thread_blocks)
+        self._next_block_index = end
+        return start, end - start
+
+    def materialise_span(
+        self, first_index: int, count: int, *, sm_id: int, start_time_us: float
+    ) -> List[ThreadBlock]:
+        """Create the ThreadBlocks of a claimed span, running since ``start_time_us``.
+
+        Produces exactly the objects the per-block path would hold at this
+        point: registered with the launch, RUNNING on ``sm_id``, first/last
+        start at the issue instant, execution times from
+        :meth:`block_execution_time`.
+        """
+        blocks_map = self._blocks
+        launch_id = self.launch_id
+        out: List[ThreadBlock] = []
+        for index in range(first_index, first_index + count):
+            block = ThreadBlock(launch_id, index, self.block_execution_time(index))
+            block.state = ThreadBlockState.RUNNING
+            block.sm_id = sm_id
+            block.first_start_time_us = start_time_us
+            block.last_start_time_us = start_time_us
+            blocks_map[index] = block
+            out.append(block)
+        return out
+
+    def note_span_completed(self, count: int, now: float) -> None:
+        """Record the completion of ``count`` never-materialised blocks.
+
+        The O(1) bulk twin of :meth:`notify_block_completed` used when a
+        whole :class:`~repro.gpu.blockrun.BlockRun` retires: each block
+        would have contributed exactly one counter increment (their launch
+        cannot finish mid-span; the driver falls back to the per-block path
+        for a span that would finish the kernel, so the FINISHED transition
+        always happens there — but handle it anyway for direct callers).
+        """
+        self._completed_blocks += count
+        if self._completed_blocks > self.spec.num_thread_blocks:  # pragma: no cover
+            raise RuntimeError("more thread blocks completed than the kernel has")
+        if self.all_blocks_completed:
+            self.state = KernelState.FINISHED
+            self.completion_time_us = now
+            if self.on_complete is not None:
+                self.on_complete(self, now)
+
     def block(self, block_index: int) -> ThreadBlock:
         """Return an already-materialised block by index."""
         return self._blocks[block_index]

@@ -28,6 +28,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.gpu.blockrun import BlockRun
 from repro.gpu.config import GPUConfig
 from repro.gpu.thread_block import ThreadBlock
 from repro.sim.engine import Simulator
@@ -77,7 +78,11 @@ class Wave:
         entries[0][0].completion_waves_fired += 1
         hist = entries[0][0].metrics_wave_hist
         if hist is not None:
-            hist.observe(len(entries))
+            # Wave size in *blocks*: a BlockRun entry stands for the count
+            # of per-block entries it compressed away.
+            hist.observe(
+                sum(e[1].count if e[1].__class__ is BlockRun else 1 for e in entries)
+            )
         n = len(entries)
         i = 0
         while i < n:
@@ -86,12 +91,27 @@ class Wave:
             if completions.get(block.key) is not self:
                 i += 1
                 continue
+            if block.__class__ is BlockRun:
+                if sm.observer is None:
+                    batch_run = getattr(on_complete, "batch_complete_run", None)
+                    if batch_run is not None and batch_run(sm, block, self):
+                        i += 1
+                        continue
+                # Fallback (observer attached since issue, SM reserved, or
+                # the kernel would finish inside the run): materialise in
+                # place.  The splice puts one per-block entry in exactly the
+                # event positions the per-block path would have used; reloop
+                # without advancing so they are processed normally.
+                sm._materialize_run(block)
+                n = len(entries)
+                continue
             j = i + 1
             while j < n:
                 entry = entries[j]
                 if (
                     entry[0] is not sm
                     or entry[2] is not on_complete
+                    or entry[1].__class__ is BlockRun
                     or completions.get(entry[1].key) is not self
                 ):
                     break
@@ -170,8 +190,13 @@ class StreamingMultiprocessor:
         self.shared_memory_config: int = config.default_shared_memory_bytes
 
         self._resident: Dict[tuple[int, int], ThreadBlock] = {}
-        #: Wave owning each resident block's pending completion.
+        #: Wave owning each resident block's (or run's) pending completion.
         self._completions: Dict[tuple[int, int], Wave] = {}
+        #: Vectorised residency: resident :class:`BlockRun` spans by key, in
+        #: issue order (see :meth:`start_run`), plus their total block count.
+        #: Anything that needs real blocks calls :meth:`_materialize_runs`.
+        self._runs: Dict[tuple[int, int], BlockRun] = {}
+        self._run_blocks = 0
 
         #: Optional instrumentation sink (see :mod:`repro.validation`).
         #: Observers are notified of block start/completion/eviction and SM
@@ -243,8 +268,8 @@ class StreamingMultiprocessor:
     # ------------------------------------------------------------------
     @property
     def resident_blocks(self) -> int:
-        """Number of thread blocks currently resident."""
-        return len(self._resident)
+        """Number of thread blocks currently resident (runs included)."""
+        return len(self._resident) + self._run_blocks
 
     @property
     def has_free_slots(self) -> bool:
@@ -254,10 +279,16 @@ class StreamingMultiprocessor:
     @property
     def is_empty(self) -> bool:
         """Whether no thread blocks are resident."""
-        return not self._resident
+        return not self._resident and not self._run_blocks
 
     def resident(self) -> list[ThreadBlock]:
-        """The currently resident thread blocks (unspecified order)."""
+        """The currently resident thread blocks (unspecified order).
+
+        Materialises any vectorised runs first: callers get (and the SM then
+        keeps) real per-block state, identical to the per-block path's.
+        """
+        if self._runs:
+            self._materialize_runs()
         return list(self._resident.values())
 
     def start_block(
@@ -293,6 +324,11 @@ class StreamingMultiprocessor:
         """
         if not issues:
             return
+        if self._runs:
+            # Per-block issues and vectorised runs never mix: convert the
+            # runs first so residency (and later eviction) order matches the
+            # per-block path exactly.
+            self._materialize_runs()
         sim = self._sim
         now = sim.now
         resident = self._resident
@@ -409,6 +445,91 @@ class StreamingMultiprocessor:
         if batching:
             self._wave_anchor.wave = wave
 
+    def start_run(
+        self,
+        run: BlockRun,
+        *,
+        extra_latency_us: float,
+        on_complete: Callable[[ThreadBlock], None],
+    ) -> None:
+        """Begin executing a vectorised span of fresh blocks (see :mod:`repro.gpu.blockrun`).
+
+        The scalar twin of :meth:`start_blocks` for an all-fresh, jitter-free
+        burst with no observer attached: one residency record, one wave entry
+        (joined under exactly the per-block path's conditions), no block
+        objects.  ``extra_latency_us`` is the issue latency the per-block
+        path would have charged each block.
+        """
+        sim = self._sim
+        now = sim.now
+        if len(self._resident) + self._run_blocks + run.count > self.max_resident_blocks:
+            raise RuntimeError(f"SM{self.sm_id}: no free slot for another thread block")
+        self.utilization.set_busy(now)
+        run.start_time_us = now
+        self._runs[run.key] = run
+        self._run_blocks += run.count
+        # Same float-addition order as the per-block path's
+        # ``now + (extra + remaining)``: completion instants must match bit
+        # for bit (extra = tb issue latency, remaining = exec time).
+        completes_at = now + (extra_latency_us + run.exec_time_us)
+        completions = self._completions
+        wave = self._wave_anchor.wave
+        if wave is not None and completes_at == wave.time and sim._seq - 1 == wave.seq:
+            event = wave.event
+            if not event.fired and not event.cancelled:
+                wave.entries.append((self, run, on_complete))
+                completions[run.key] = wave
+                wave.live += run.count
+                return
+        wave = Wave(completes_at, [(self, run, on_complete)])
+        wave.live = run.count
+        if run.count == 1:
+            label = f"sm{self.sm_id}.block{run.key}.complete"
+        else:
+            label = f"sm{self.sm_id}.wave{run.count}.complete"
+        handle = sim.schedule_at(completes_at, wave.fire, label=label)
+        wave.handle = handle
+        wave.seq = handle.seq
+        wave.event = handle._event
+        completions[run.key] = wave
+        self._wave_anchor.wave = wave
+
+    def _materialize_runs(self) -> None:
+        """Convert every resident run into per-block state, in issue order."""
+        for run in list(self._runs.values()):
+            self._materialize_run(run)
+
+    def _materialize_run(self, run: BlockRun) -> List[ThreadBlock]:
+        """Replace one run by the exact per-block state it stands for.
+
+        Creates the span's ThreadBlocks (registered with their launch,
+        RUNNING since the run's start instant), makes them resident in issue
+        order, and splices per-block entries into the run's wave at the
+        run's exact position — so subsequent firing, eviction and completion
+        are indistinguishable from the per-block path.
+        """
+        del self._runs[run.key]
+        self._run_blocks -= run.count
+        completions = self._completions
+        wave = completions.pop(run.key, None)
+        blocks = run.materialise(self.sm_id)
+        resident = self._resident
+        for block in blocks:
+            resident[block.key] = block
+        if wave is not None:
+            entries = wave.entries
+            for index, entry in enumerate(entries):
+                if entry[1] is run:
+                    on_complete = entry[2]
+                    entries[index : index + 1] = [
+                        (self, block, on_complete) for block in blocks
+                    ]
+                    break
+            for block in blocks:
+                completions[block.key] = wave
+            # ``live`` already counts the run's blocks individually.
+        return blocks
+
     def _finish_block(self, block: ThreadBlock, on_complete: Callable[[ThreadBlock], None]) -> None:
         """Internal completion callback for a resident block."""
         now = self._sim.now
@@ -434,6 +555,10 @@ class StreamingMultiprocessor:
         and removes them from the SM.  Returns the evicted blocks so the
         caller can push them into the PTBQ once the context save completes.
         """
+        if self._runs:
+            # Preemption needs real blocks (remaining-time update, PTBQ
+            # entries): convert runs first, preserving issue order.
+            self._materialize_runs()
         now = self._sim.now
         evicted: list[ThreadBlock] = []
         for key, block in list(self._resident.items()):

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
+from repro.gpu.blockrun import BlockRun
 from repro.gpu.kernel import KernelLaunch
 from repro.gpu.sm import SMState, StreamingMultiprocessor
 from repro.gpu.thread_block import ThreadBlock
@@ -41,6 +42,8 @@ class SMDriver:
         self._ctr_blocks_completed = self.stats.counter("blocks_completed")
         #: Issue latency, cached: the configuration is immutable.
         self._tb_issue_latency_us = engine.system_config.gpu.tb_issue_latency_us
+        #: Wave batching gate, cached: vectorised runs ride the wave path.
+        self._wave_batching = engine.system_config.gpu.wave_batching
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -145,37 +148,60 @@ class SMDriver:
         launch = entry.launch
 
         resident = sm._resident
-        free = sm.max_resident_blocks - len(resident)
+        free = sm.max_resident_blocks - (len(resident) + sm._run_blocks)
         if free > 0:
             tb_issue_latency = self._tb_issue_latency_us
-            ptbq_pop = framework.ptbq(ksr_index).pop
-            engine = self._engine
-            issues: List[tuple[ThreadBlock, float]] = []
-            while free > 0:
-                block = ptbq_pop()
-                if block is None:
-                    # The PTBQ cannot refill during the loop: every remaining
-                    # slot takes a fresh block, so take them in one call.
-                    fresh = launch.take_fresh_blocks(free)
-                    if fresh:
-                        self._ctr_blocks_issued.value += len(fresh)
-                        for fresh_block in fresh:
-                            issues.append((fresh_block, tb_issue_latency))
-                        free -= len(fresh)
-                    break
-                restore = engine.restore_latency_us(
-                    block, launch.spec.usage.state_bytes_per_block
-                )
-                self._ctr_blocks_reissued.value += 1
-                issues.append((block, tb_issue_latency + restore))
-                free -= 1
-            if issues:
-                if callback is None:
-                    callback = self._completion_callback(sm.sm_id)
-                sm.start_blocks(issues, on_complete=callback)
-        sm_entry.running_blocks = len(resident)
+            ptbq = framework.ptbq(ksr_index)
+            if (
+                self._wave_batching
+                and launch.jitter is None
+                and sm.observer is None
+                and len(ptbq) == 0
+            ):
+                # Vectorised issue: an all-fresh, jitter-free refill of an
+                # unobserved SM becomes one BlockRun — no block objects, one
+                # wave entry (see repro.gpu.blockrun).  Byte-identical to
+                # the per-block path below by construction.
+                first, taken = launch.take_fresh_span(free)
+                if taken:
+                    self._ctr_blocks_issued.value += taken
+                    if callback is None:
+                        callback = self._completion_callback(sm.sm_id)
+                    run = BlockRun(launch, first, taken, launch.spec.avg_tb_time_us)
+                    sm.start_run(
+                        run, extra_latency_us=tb_issue_latency, on_complete=callback
+                    )
+            else:
+                ptbq_pop = ptbq.pop
+                engine = self._engine
+                issues: List[tuple[ThreadBlock, float]] = []
+                while free > 0:
+                    block = ptbq_pop()
+                    if block is None:
+                        # The PTBQ cannot refill during the loop: every
+                        # remaining slot takes a fresh block, so take them in
+                        # one call.
+                        fresh = launch.take_fresh_blocks(free)
+                        if fresh:
+                            self._ctr_blocks_issued.value += len(fresh)
+                            for fresh_block in fresh:
+                                issues.append((fresh_block, tb_issue_latency))
+                            free -= len(fresh)
+                        break
+                    restore = engine.restore_latency_us(
+                        block, launch.spec.usage.state_bytes_per_block
+                    )
+                    self._ctr_blocks_reissued.value += 1
+                    issues.append((block, tb_issue_latency + restore))
+                    free -= 1
+                if issues:
+                    if callback is None:
+                        callback = self._completion_callback(sm.sm_id)
+                    sm.start_blocks(issues, on_complete=callback)
+        run_blocks = sm._run_blocks
+        sm_entry.running_blocks = len(resident) + run_blocks
 
-        if not resident:
+        if not resident and not run_blocks:
             self._release_sm(sm.sm_id, owner_ksr=ksr_index)
 
     def _completion_callback(self, sm_id: int):
@@ -200,7 +226,7 @@ class SMDriver:
             resident = sm._resident
 
             def callback(block: ThreadBlock) -> None:
-                sm_entry.running_blocks = len(resident)
+                sm_entry.running_blocks = len(resident) + sm._run_blocks
                 ksr_index = index_for_launch(block.kernel_launch_id)
                 if ksr_index is None:  # pragma: no cover - defensive
                     raise RuntimeError("completed block belongs to no active kernel")
@@ -211,7 +237,7 @@ class SMDriver:
 
                 if launch.all_blocks_completed:
                     # See on_block_completed: release before finish_kernel.
-                    if sm_entry.state is SMState.RUNNING and not resident:
+                    if sm_entry.state is SMState.RUNNING and not resident and not sm._run_blocks:
                         self._release_sm(sm_id, owner_ksr=ksr_index)
                     engine.finish_kernel(ksr_index)
 
@@ -259,14 +285,51 @@ class SMDriver:
                     launch.notify_block_completed(block, now)
                 wave.live -= count
                 sm.blocks_executed += count
-                if not resident:
+                if not resident and not sm._run_blocks:
                     sm.utilization.set_idle(now)
                 completed_counter.value += count
-                sm_entry.running_blocks = len(resident)
+                sm_entry.running_blocks = len(resident) + sm._run_blocks
+                self._fill_running_sm(sm, sm_entry, framework, entry, callback)
+                return True
+
+            def batch_complete_run(sm, run, wave) -> bool:
+                """Retire a whole vectorised run in O(1) (see repro.gpu.blockrun).
+
+                The run analogue of ``batch_complete``, with the same
+                acceptance proof obligations: the SM must still be RUNNING
+                the run's kernel and the kernel must not finish within the
+                run (so no release / finish-kernel / mechanism hooks
+                interleave).  Returning ``False`` makes the wave materialise
+                the run and process its blocks on the exact path.
+                """
+                if sm_entry.state is not SMState.RUNNING:
+                    return False
+                launch = run.launch
+                ksr_index = index_for_launch(launch.launch_id)
+                if ksr_index is None or ksr_index != sm_entry.ksr_index:
+                    return False
+                entry = ksr(ksr_index)
+                if entry.launch is not launch:
+                    return False
+                count = run.count
+                if launch.completed_blocks + count >= launch.spec.num_thread_blocks:
+                    return False
+                now = simulator.now
+                del sm._completions[run.key]
+                del sm._runs[run.key]
+                sm._run_blocks -= count
+                launch.note_span_completed(count, now)
+                wave.live -= count
+                sm.blocks_executed += count
+                if not resident and not sm._run_blocks:
+                    sm.utilization.set_idle(now)
+                completed_counter.value += count
+                sm_entry.running_blocks = len(resident) + sm._run_blocks
                 self._fill_running_sm(sm, sm_entry, framework, entry, callback)
                 return True
 
             callback.batch_complete = batch_complete
+            callback.batch_complete_run = batch_complete_run
             self._completion_callbacks[sm_id] = callback
         return callback
 

@@ -17,7 +17,9 @@ Six registries replace the old hard-coded ``make_policy`` /
   fleet member GPUs (``round_robin``, ``least_loaded``, ``tenant_affinity``,
   ``priority_spill``),
 * :data:`TRACE_SOURCES` — workload-trace synthesizers for the trace-driven
-  load generator (``azure_faas``, ``pareto_burst``, ``lognormal_diurnal``).
+  load generator (``azure_faas``, ``pareto_burst``, ``lognormal_diurnal``),
+* :data:`EVENT_QUEUES` — simulation event-queue implementations backing the
+  engine's scheduling hot path (``heap``, ``calendar``).
 
 The built-in components register themselves with the
 :func:`register_policy` / :func:`register_mechanism` /
@@ -254,6 +256,10 @@ def _load_builtin_trace_sources() -> None:
     import repro.loadgen.synth  # noqa: F401
 
 
+def _load_builtin_event_queues() -> None:
+    import repro.sim.queues  # noqa: F401
+
+
 POLICIES = ComponentRegistry("scheduling policy", _load_builtin_policies)
 MECHANISMS = ComponentRegistry("preemption mechanism", _load_builtin_mechanisms)
 CONTROLLERS = ComponentRegistry("preemption controller", _load_builtin_controllers)
@@ -264,6 +270,7 @@ ARRIVALS = ComponentRegistry("arrival process", _load_builtin_arrivals)
 ROUTERS = ComponentRegistry("cluster router", _load_builtin_routers)
 EXPORTERS = ComponentRegistry("metrics exporter", _load_builtin_exporters)
 TRACE_SOURCES = ComponentRegistry("trace source", _load_builtin_trace_sources)
+EVENT_QUEUES = ComponentRegistry("event queue", _load_builtin_event_queues)
 
 
 def register_policy(name: str, *aliases: str, **kwargs):
@@ -306,6 +313,11 @@ def register_trace_source(name: str, *aliases: str, **kwargs):
     return TRACE_SOURCES.register(name, *aliases, **kwargs)
 
 
+def register_event_queue(name: str, *aliases: str, **kwargs):
+    """Register a simulation event-queue implementation (decorator)."""
+    return EVENT_QUEUES.register(name, *aliases, **kwargs)
+
+
 __all__ = [
     "ComponentRegistry",
     "RegistryEntry",
@@ -319,6 +331,7 @@ __all__ = [
     "ROUTERS",
     "EXPORTERS",
     "TRACE_SOURCES",
+    "EVENT_QUEUES",
     "register_policy",
     "register_mechanism",
     "register_controller",
@@ -327,4 +340,5 @@ __all__ = [
     "register_router",
     "register_exporter",
     "register_trace_source",
+    "register_event_queue",
 ]

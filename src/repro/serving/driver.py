@@ -262,6 +262,7 @@ class ServingDriver:
             trace=scenario.trace,
             metrics=scenario.metrics,
             start_time_us=start_us,
+            queue=scenario.queue,
         )
         #: Observer target, kept in sync by ``GPUSystem._rewire_observers``.
         self.observer = None

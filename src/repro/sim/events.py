@@ -23,6 +23,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Optional
 
+from repro.sim.ticks import TICKS_PER_US
+
 #: Monotonically increasing sequence shared by every event created through
 #: :func:`make_event`.  The :class:`~repro.sim.engine.Simulator` keeps its own
 #: per-instance counter (cheaper, and ordering only matters within one
@@ -46,6 +48,11 @@ class Event:
     seq:
         Monotonic sequence number assigned at scheduling time; the final
         tie-breaker, which makes event ordering fully deterministic.
+    ticks:
+        ``time`` rounded to integer nanosecond ticks
+        (:data:`repro.sim.ticks.TICKS_PER_US`).  A derived, monotone coarse
+        key used by bucketing event queues; :attr:`time` stays the
+        authoritative float-µs timestamp at every API boundary.
     callback:
         Zero-argument callable invoked when the event fires.
     cancelled:
@@ -59,6 +66,7 @@ class Event:
 
     __slots__ = (
         "time",
+        "ticks",
         "priority",
         "seq",
         "callback",
@@ -79,6 +87,7 @@ class Event:
         on_cancelled: Optional[Callable[[], None]] = None,
     ):
         self.time = time
+        self.ticks = round(time * TICKS_PER_US)
         self.priority = priority
         self.seq = seq
         self.callback = callback

@@ -1,0 +1,340 @@
+"""Pluggable event queues for the discrete-event engine.
+
+The :class:`~repro.sim.engine.Simulator` delegates event storage to an
+:class:`EventQueue`.  Entries are the engine's ``(time, priority, seq, event)``
+tuples — ordering is C-level tuple comparison and the unique per-simulator
+``seq`` guarantees comparisons never reach the event object.  Two built-in
+implementations are registered with :data:`repro.registry.EVENT_QUEUES`:
+
+``heap``
+    The classic binary heap (``heapq``) over full entry tuples.  Extracted
+    unchanged from the pre-queue-layer engine; kept as the equivalence
+    oracle for every other implementation.
+
+``calendar`` (default)
+    A self-resizing calendar/bucket queue over the integer nanosecond ticks
+    events carry (:mod:`repro.sim.ticks`): a dict of tick → bucket plus a
+    small heap of *distinct* ticks.  Wave batching makes large runs schedule
+    dense same-instant bursts; the calendar queue appends those in O(1) to
+    the current tick's bucket instead of paying a heap sift per event, and
+    only sorts a bucket's remaining region lazily (and only when an append
+    actually broke its order).  Within a bucket, ties are broken by the
+    exact ``(time, priority, seq)`` tuple, and tick rounding is monotone in
+    time, so the pop order is *identical* to the heap's total order — the
+    queue-equivalence fuzz (``tests/sim/test_queue_equivalence.py``) proves
+    this byte-for-byte on whole scenario artifacts.
+
+Both queues reclaim cancelled ("dead") entries lazily: dead entries at the
+head are discarded during pop/peek, and when dead entries outnumber live
+ones (cancellation-heavy preemption scenarios) the queue compacts in place
+(the ``compactions`` counter is surfaced through the engine's metrics).
+
+Select an implementation with ``Simulator(queue="heap")``,
+``ScenarioSpec(queue=...)`` or the experiment CLI's ``--queue`` flag; plug in
+a custom one with :func:`repro.registry.register_event_queue`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple, Union
+
+from repro.registry import EVENT_QUEUES, register_event_queue
+from repro.sim.events import Event
+
+#: One queue entry: ``(time, priority, seq, event)``.
+Entry = Tuple[float, int, int, Event]
+
+#: Compact when a queue holds more than this many dead (cancelled) entries
+#: *and* they outnumber the live ones.
+_COMPACTION_MIN_DEAD = 64
+
+#: Registry name of the engine's default event queue.
+DEFAULT_EVENT_QUEUE = "calendar"
+
+
+class EventQueue:
+    """Interface between the :class:`~repro.sim.engine.Simulator` and storage.
+
+    Implementations must yield live entries in exact ``(time, priority,
+    seq)`` order and may discard cancelled entries whenever convenient; the
+    engine keeps the live-event count itself and reports each cancellation
+    through :meth:`note_cancelled`.
+    """
+
+    #: Registry name (shown by ``--list`` and ``Simulator.queue_name``).
+    name = "abstract"
+
+    def push(self, entry: Entry) -> None:
+        """Insert a new entry (its event is pending by construction)."""
+        raise NotImplementedError
+
+    def pop(self, until: Optional[float] = None) -> Optional[Entry]:
+        """Remove and return the next live entry.
+
+        Cancelled entries reaching the head are discarded unconditionally —
+        even when they lie beyond ``until``.  Returns ``None`` when the
+        queue is empty or the next live entry fires after ``until``.
+        """
+        raise NotImplementedError
+
+    def peek(self) -> Optional[Entry]:
+        """The next live entry without removing it (prunes dead heads)."""
+        raise NotImplementedError
+
+    def note_cancelled(self) -> None:
+        """Record that one queued entry was cancelled (compaction trigger)."""
+        raise NotImplementedError
+
+    def sorted_entries(self) -> List[Entry]:
+        """Every live entry in fire order (introspection; not a hot path)."""
+        raise NotImplementedError
+
+    def entries(self) -> List[Entry]:
+        """Snapshot of every stored entry, dead ones included (debugging)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Number of stored entries, including dead ones awaiting reclaim."""
+        raise NotImplementedError
+
+
+@register_event_queue(
+    "heap",
+    description="binary heap over (time, priority, seq) tuples (the oracle)",
+)
+class HeapEventQueue(EventQueue):
+    """The pre-queue-layer engine heap, extracted with unchanged semantics."""
+
+    name = "heap"
+    __slots__ = ("_heap", "_dead", "compactions")
+
+    def __init__(self):
+        self._heap: List[Entry] = []
+        self._dead = 0
+        #: In-place compactions performed (surfaced via engine metrics).
+        self.compactions = 0
+
+    def push(self, entry: Entry) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def pop(self, until: Optional[float] = None) -> Optional[Entry]:
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heappop(heap)
+                self._dead -= 1
+                continue
+            if until is not None and entry[0] > until:
+                return None
+            return heappop(heap)
+        return None
+
+    def peek(self) -> Optional[Entry]:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+        return heap[0] if heap else None
+
+    def note_cancelled(self) -> None:
+        self._dead += 1
+        if self._dead > _COMPACTION_MIN_DEAD:
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Drop dead heap entries once they outnumber the live ones.
+
+        Compaction rewrites the heap *in place* (slice assignment) so
+        aliases held by a running loop stay valid.
+        """
+        heap = self._heap
+        if self._dead * 2 <= len(heap):
+            return
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heapq.heapify(heap)
+        self._dead = 0
+        self.compactions += 1
+
+    def sorted_entries(self) -> List[Entry]:
+        return sorted(entry for entry in self._heap if not entry[3].cancelled)
+
+    def entries(self) -> List[Entry]:
+        return list(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _Bucket:
+    """Entries of one integer tick, consumed through a moving cursor.
+
+    ``entries[cursor:]`` is the remaining region; it is kept in ascending
+    entry order except when an out-of-order append flagged it ``dirty`` (the
+    next pop/peek then sorts just that region).  Consumed entries stay in
+    the list until compaction reclaims them — popping is cursor advance, not
+    ``list.pop(0)``.
+    """
+
+    __slots__ = ("entries", "cursor", "dirty")
+
+    def __init__(self):
+        self.entries: List[Entry] = []
+        self.cursor = 0
+        self.dirty = False
+
+
+@register_event_queue(
+    "calendar",
+    description="tick-bucketed calendar queue, O(1) same-instant bursts (default)",
+)
+class CalendarEventQueue(EventQueue):
+    """Calendar/bucket queue keyed by integer nanosecond ticks.
+
+    A dict maps each distinct tick to a :class:`_Bucket`; a ``heapq`` of the
+    distinct ticks orders the buckets.  Invariant: the tick heap holds
+    exactly the dict's keys (buckets are only removed when they reach the
+    head, so no stale-tick bookkeeping is needed).  Tick rounding is
+    monotone in event time and ties within a bucket fall back to the exact
+    entry tuple, so pop order matches :class:`HeapEventQueue` exactly.
+    """
+
+    name = "calendar"
+    __slots__ = ("_buckets", "_ticks", "_size", "_dead", "compactions")
+
+    def __init__(self):
+        self._buckets: dict = {}
+        self._ticks: List[int] = []
+        self._size = 0
+        self._dead = 0
+        #: Whole-queue dead-entry reclaims performed (see engine metrics).
+        self.compactions = 0
+
+    def push(self, entry: Entry) -> None:
+        bucket = self._buckets.get(entry[3].ticks)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[entry[3].ticks] = bucket
+            heapq.heappush(self._ticks, entry[3].ticks)
+            bucket.entries.append(entry)
+        else:
+            entries = bucket.entries
+            # Appends arrive in seq order, so a non-empty remaining region
+            # only loses its order when priorities (or sub-tick float times)
+            # interleave — flag it and sort lazily at pop time.
+            if len(entries) > bucket.cursor and entry < entries[-1]:
+                bucket.dirty = True
+            entries.append(entry)
+        self._size += 1
+
+    def _head_bucket(self) -> Optional[_Bucket]:
+        """The bucket holding the next live entry, cursor parked on it.
+
+        Discards exhausted buckets and dead head entries along the way;
+        returns ``None`` when the queue is empty.
+        """
+        ticks = self._ticks
+        buckets = self._buckets
+        while ticks:
+            bucket = buckets[ticks[0]]
+            entries = bucket.entries
+            cursor = bucket.cursor
+            if bucket.dirty:
+                entries[cursor:] = sorted(entries[cursor:])
+                bucket.dirty = False
+            n = len(entries)
+            while cursor < n and entries[cursor][3].cancelled:
+                cursor += 1
+                self._dead -= 1
+                self._size -= 1
+            if cursor >= n:
+                del buckets[ticks[0]]
+                heapq.heappop(ticks)
+                continue
+            bucket.cursor = cursor
+            return bucket
+        return None
+
+    def pop(self, until: Optional[float] = None) -> Optional[Entry]:
+        bucket = self._head_bucket()
+        if bucket is None:
+            return None
+        entry = bucket.entries[bucket.cursor]
+        if until is not None and entry[0] > until:
+            return None
+        bucket.cursor += 1
+        self._size -= 1
+        return entry
+
+    def peek(self) -> Optional[Entry]:
+        bucket = self._head_bucket()
+        return bucket.entries[bucket.cursor] if bucket is not None else None
+
+    def note_cancelled(self) -> None:
+        self._dead += 1
+        if self._dead > _COMPACTION_MIN_DEAD and self._dead * 2 > self._size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Reclaim every dead entry (and consumed prefixes) in one pass.
+
+        Emptied buckets stay in the dict — the tick-heap invariant only
+        allows removing a bucket at the head, and :meth:`_head_bucket`
+        discards them there.
+        """
+        for bucket in self._buckets.values():
+            bucket.entries = [
+                entry
+                for entry in bucket.entries[bucket.cursor :]
+                if not entry[3].cancelled
+            ]
+            bucket.cursor = 0
+        self._size -= self._dead
+        self._dead = 0
+        self.compactions += 1
+
+    def sorted_entries(self) -> List[Entry]:
+        live: List[Entry] = []
+        for bucket in self._buckets.values():
+            live.extend(
+                entry
+                for entry in bucket.entries[bucket.cursor :]
+                if not entry[3].cancelled
+            )
+        live.sort()
+        return live
+
+    def entries(self) -> List[Entry]:
+        out: List[Entry] = []
+        for bucket in self._buckets.values():
+            out.extend(bucket.entries[bucket.cursor :])
+        return out
+
+    def __len__(self) -> int:
+        return self._size
+
+
+def resolve_queue(queue: Union[str, EventQueue, None]) -> EventQueue:
+    """Turn a queue name / instance / ``None`` into an :class:`EventQueue`.
+
+    ``None`` selects :data:`DEFAULT_EVENT_QUEUE`; strings resolve through
+    :data:`repro.registry.EVENT_QUEUES` (aliases accepted); instances pass
+    through unchanged (they must be empty and unshared).
+    """
+    if queue is None:
+        queue = DEFAULT_EVENT_QUEUE
+    if isinstance(queue, str):
+        return EVENT_QUEUES.create(queue)
+    return queue
+
+
+__all__ = [
+    "EventQueue",
+    "HeapEventQueue",
+    "CalendarEventQueue",
+    "resolve_queue",
+    "DEFAULT_EVENT_QUEUE",
+    "Entry",
+]

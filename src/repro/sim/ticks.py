@@ -1,0 +1,68 @@
+"""Integer-tick timestamps for the event core.
+
+The engine's public contract is float **microseconds** (``Simulator.now``,
+observer hooks, metrics, checkpoints all speak float µs), but the event queue
+additionally carries an integer **nanosecond tick** per event:
+``ticks = round(time_us * TICKS_PER_US)``.
+
+Why both?  Floats stay *authoritative* — model code accumulates times as
+float sums (``0.1 + 0.2`` is not ``300 / 1000``) and e.g. the serving layer
+draws exponential inter-arrival gaps that are not tick-exact, so collapsing
+the timeline onto ticks would shift results.  Rounding to ticks, however, is
+*monotone*: ``t1 < t2`` implies ``ticks(t1) <= ticks(t2)``, so integer ticks
+are a correct coarse key for bucketing — the calendar queue
+(:class:`repro.sim.queues.CalendarEventQueue`) groups events by tick and
+breaks ties inside a bucket with the exact ``(time, priority, seq)`` tuple,
+preserving the heap's total order unconditionally.  Integer comparisons are
+also cheaper than float comparisons on the scheduling hot path.
+
+:func:`is_tick_exact` and :func:`audit_exactness` back the test-suite audit
+that every latency/duration a workload feeds the engine survives the
+float → tick → float round-trip at 1 ns resolution (so tick collisions only
+merge events that genuinely fire at the same modelled instant).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+#: Integer ticks per simulated microsecond (1 tick = 1 nanosecond).
+TICKS_PER_US = 1000
+
+
+def us_to_ticks(time_us: float) -> int:
+    """Convert float microseconds to the nearest integer nanosecond tick.
+
+    Monotone non-decreasing, which is the only property bucketing needs.
+    """
+    return round(time_us * TICKS_PER_US)
+
+
+def ticks_to_us(ticks: int) -> float:
+    """Convert integer nanosecond ticks back to float microseconds."""
+    return ticks / TICKS_PER_US
+
+
+def is_tick_exact(time_us: float) -> bool:
+    """Whether ``time_us`` survives the float → tick → float round-trip."""
+    return ticks_to_us(us_to_ticks(time_us)) == time_us
+
+
+def audit_exactness(values_us: Iterable[float]) -> List[float]:
+    """Return the values that do *not* survive the tick round-trip.
+
+    Used by the exactness audit in ``tests/sim/test_ticks.py``: workload
+    latencies and configuration durations must all come back empty, which
+    justifies the 1 ns tick resolution (events at distinct modelled times
+    land in distinct buckets).
+    """
+    return [value for value in values_us if not is_tick_exact(value)]
+
+
+__all__ = [
+    "TICKS_PER_US",
+    "us_to_ticks",
+    "ticks_to_us",
+    "is_tick_exact",
+    "audit_exactness",
+]

@@ -1,0 +1,125 @@
+"""Property-based equivalence of every event queue vs. a reference model.
+
+Hypothesis drives arbitrary interleavings of push / cancel / pop /
+pop-until / peek operations — with duplicated timestamps, interleaved
+priorities, and sub-tick-distinct float times — against a trivially correct
+reference (a sorted list of live entries).  Each registered
+:class:`~repro.sim.queues.EventQueue` must return exactly the entry the
+model predicts at every step, and conservation must hold: every pushed
+entry is eventually popped, reclaimed as cancelled, or still stored.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.registry import EVENT_QUEUES
+from repro.sim.events import Event
+
+QUEUES = ("heap", "calendar")
+
+#: Candidate fire times: duplicates are likely (same-tick bursts), and the
+#: near-1.0 pair is sub-tick-distinct (same bucket, different floats).
+TIMES = (0.0, 0.5, 1.0, 1.0 + 2e-7, 1.0 + 4e-7, 2.5, 7.125, 7.1251, 40.0)
+
+_push = st.tuples(
+    st.just("push"), st.integers(0, len(TIMES) - 1), st.integers(0, 3)
+)
+_cancel = st.tuples(st.just("cancel"), st.integers(0, 2**32), st.just(0))
+_pop = st.tuples(st.just("pop"), st.just(0), st.just(0))
+_pop_until = st.tuples(
+    st.just("pop_until"), st.integers(0, len(TIMES) - 1), st.just(0)
+)
+_peek = st.tuples(st.just("peek"), st.just(0), st.just(0))
+
+OPS = st.lists(
+    st.one_of(_push, _cancel, _pop, _pop_until, _peek), max_size=200
+)
+
+
+class _Model:
+    """Sorted list of live entries — the obviously-correct queue."""
+
+    def __init__(self):
+        self.live = []
+
+    def push(self, entry):
+        bisect.insort(self.live, entry)
+
+    def remove(self, entry):
+        index = bisect.bisect_left(self.live, entry)
+        assert self.live[index] == entry
+        del self.live[index]
+
+    def head(self, until=None):
+        if not self.live:
+            return None
+        entry = self.live[0]
+        if until is not None and entry[0] > until:
+            return None
+        return entry
+
+
+@pytest.mark.parametrize("queue_name", QUEUES)
+@settings(max_examples=200, deadline=None)
+@given(ops=OPS)
+def test_queue_matches_sorted_list_model(queue_name, ops):
+    queue = EVENT_QUEUES.create(queue_name)
+    model = _Model()
+    seq = itertools.count()
+    pushed = []  # every entry ever pushed, fired or not
+    popped = 0
+    cancelled = 0
+
+    for kind, a, b in ops:
+        if kind == "push":
+            event = Event(TIMES[a], b, next(seq), lambda: None)
+            entry = (event.time, event.priority, event.seq, event)
+            queue.push(entry)
+            model.push(entry)
+            pushed.append(entry)
+        elif kind == "cancel":
+            candidates = [
+                e for e in pushed if not e[3].cancelled and not e[3].fired
+            ]
+            if candidates:
+                entry = candidates[a % len(candidates)]
+                entry[3].cancel()
+                queue.note_cancelled()
+                model.remove(entry)
+                cancelled += 1
+        elif kind in ("pop", "pop_until"):
+            until = TIMES[a] if kind == "pop_until" else None
+            expected = model.head(until)
+            got = queue.pop(until)
+            assert got == expected
+            if expected is not None:
+                model.remove(expected)
+                expected[3].fired = True
+                popped += 1
+        elif kind == "peek":
+            assert queue.peek() == model.head()
+
+    # The live views agree entry-for-entry, in fire order.
+    assert queue.sorted_entries() == model.live
+
+    # Drain to empty: order must match the model's to the last entry.
+    while True:
+        expected = model.head()
+        got = queue.pop()
+        assert got == expected
+        if got is None:
+            break
+        model.remove(expected)
+        popped += 1
+
+    # Conservation: everything pushed was popped or cancelled, and the
+    # queue reclaimed every stored entry (no leaks behind cursors/heaps).
+    assert popped + cancelled == len(pushed)
+    assert len(queue) == 0
+    assert queue.peek() is None

@@ -1,0 +1,203 @@
+"""Unit tests for the pluggable event-queue implementations.
+
+Every test here is parametrized over both registered queues — the heap
+oracle and the calendar queue — because the engine contract (peek/pop
+ordering, ``run(until=)`` clamping, cancelled-head discarding, compaction
+accounting) must hold identically for each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import EVENT_QUEUES, UnknownComponentError
+from repro.sim.engine import Simulator
+from repro.sim.queues import (
+    DEFAULT_EVENT_QUEUE,
+    CalendarEventQueue,
+    HeapEventQueue,
+    resolve_queue,
+)
+
+QUEUES = ("heap", "calendar")
+
+
+@pytest.fixture(params=QUEUES)
+def sim(request):
+    return Simulator(queue=request.param)
+
+
+# ----------------------------------------------------------------------
+# Registry / resolution
+# ----------------------------------------------------------------------
+
+
+def test_resolve_queue_default_and_names():
+    assert resolve_queue(None).name == DEFAULT_EVENT_QUEUE
+    assert isinstance(resolve_queue("heap"), HeapEventQueue)
+    assert isinstance(resolve_queue("calendar"), CalendarEventQueue)
+    instance = CalendarEventQueue()
+    assert resolve_queue(instance) is instance
+
+
+def test_unknown_queue_name_rejected():
+    with pytest.raises(UnknownComponentError):
+        Simulator(queue="no-such-queue")
+
+
+def test_simulator_reports_queue_name():
+    assert Simulator().queue_name == DEFAULT_EVENT_QUEUE
+    assert Simulator(queue="heap").queue_name == "heap"
+    assert EVENT_QUEUES.canonical_name("calendar") == "calendar"
+
+
+# ----------------------------------------------------------------------
+# Ordering
+# ----------------------------------------------------------------------
+
+
+def test_ordering_time_priority_seq(sim):
+    fired = []
+    sim.schedule(2.0, lambda: fired.append("t2"))
+    sim.schedule(1.0, lambda: fired.append("late"), priority=9)
+    sim.schedule(1.0, lambda: fired.append("early"), priority=0)
+    sim.schedule(1.0, lambda: fired.append("early2"), priority=0)
+    sim.run()
+    assert fired == ["early", "early2", "late", "t2"]
+
+
+def test_same_instant_out_of_priority_insertion_order(sim):
+    """Bucket appends arriving out of sorted order must still pop sorted."""
+    fired = []
+    for priority in (5, 1, 3, 0, 4, 2):
+        sim.schedule(1.0, lambda p=priority: fired.append(p), priority=priority)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_sub_tick_times_keep_float_order(sim):
+    """Distinct floats mapping to the same nanosecond tick stay float-ordered."""
+    fired = []
+    base = 1.0
+    eps = 2e-7  # well below the 1e-3 us tick, still distinct as floats
+    sim.schedule(base + eps, lambda: fired.append("b"))
+    sim.schedule(base, lambda: fired.append("a"))
+    sim.schedule(base + 2 * eps, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+# ----------------------------------------------------------------------
+# Cancelled heads (satellite: peek/pending audit under the abstraction)
+# ----------------------------------------------------------------------
+
+
+def test_cancelled_head_event_is_invisible_to_peek(sim):
+    head = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.peek_time() == 1.0
+    head.cancel()
+    assert sim.peek_time() == 2.0
+    assert sim.pending_events == 1
+
+
+def test_cancelled_whole_head_bucket_is_invisible_to_peek(sim):
+    """Cancel every same-instant entry at the head; peek must skip them all."""
+    doomed = [sim.schedule(1.0, lambda: None) for _ in range(8)]
+    sim.schedule(5.0, lambda: None)
+    for handle in doomed:
+        handle.cancel()
+    assert sim.peek_time() == 5.0
+    assert sim.pending_events == 1
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(True))
+    sim.run()
+    assert fired == [True]
+    assert sim.now == 5.0
+
+
+def test_run_until_clamps_past_cancelled_head(sim):
+    """A cancelled head beyond ``until`` is discarded, and now clamps to until."""
+    doomed = sim.schedule(10.0, lambda: None)
+    sim.schedule(20.0, lambda: None)
+    doomed.cancel()
+    sim.run(until=15.0)
+    assert sim.now == 15.0
+    assert sim.pending_events == 1
+    assert sim.peek_time() == 20.0
+
+
+def test_run_until_clamps_when_only_cancelled_heads_remain(sim):
+    for handle in [sim.schedule(10.0, lambda: None) for _ in range(4)]:
+        handle.cancel()
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+    assert sim.pending_events == 0
+    assert sim.peek_time() is None
+
+
+def test_pop_until_leaves_future_head_queued(sim):
+    sim.schedule(10.0, lambda: None)
+    assert sim.queue.pop(until=5.0) is None
+    assert len(sim.queue) == 1
+    entry = sim.queue.pop(until=10.0)
+    assert entry is not None and entry[0] == 10.0
+
+
+# ----------------------------------------------------------------------
+# Compaction accounting
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("queue_name", QUEUES)
+def test_compaction_counter_and_size_accounting(queue_name):
+    sim = Simulator(queue=queue_name)
+    keep = sim.schedule(1000.0, lambda: None)
+    doomed = [sim.schedule(float(i % 13) + 1.0, lambda: None) for i in range(400)]
+    for handle in doomed:
+        handle.cancel()
+    assert sim.compactions >= 1
+    assert sim.queue.compactions == sim.compactions
+    # Compaction dropped the dead entries without waiting for pops.
+    assert sim.pending_events == 1
+    assert len(sim.queue) < 100
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(True))
+    sim.run()
+    assert fired == [True]
+    assert not keep.pending and not keep.cancelled
+    assert sim.events_cancelled == 400
+    assert len(sim.queue) == 0
+
+
+@pytest.mark.parametrize("queue_name", QUEUES)
+def test_compaction_preserves_order_across_buckets(queue_name):
+    sim = Simulator(queue=queue_name)
+    fired = []
+    for i in range(6):
+        sim.schedule(10.0 + i, lambda i=i: fired.append(i))
+    doomed = [sim.schedule(5.0 + (i % 3), lambda: fired.append("no")) for i in range(300)]
+    for handle in doomed:
+        handle.cancel()
+    assert sim.compactions >= 1
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_sorted_entries_and_pending_labels(sim):
+    sim.schedule(3.0, lambda: None, label="c")
+    sim.schedule(1.0, lambda: None, label="a")
+    dead = sim.schedule(2.0, lambda: None, label="b")
+    dead.cancel()
+    assert sim.pending_labels() == ["a", "c"]
+    times = [entry[0] for entry in sim.queue.sorted_entries()]
+    assert times == sorted(times)
+
+
+def test_peek_returns_exact_entry(sim):
+    sim.schedule(4.0, lambda: None, priority=2)
+    sim.schedule(4.0, lambda: None, priority=1)
+    entry = sim.queue.peek()
+    assert entry[0] == 4.0 and entry[1] == 1
+    # Peeking must not consume.
+    assert len(sim.queue) == 2

@@ -130,6 +130,77 @@ class TestCompareBench:
         with pytest.raises(ValueError):
             compare_bench.load_results(str(path))
 
+    def test_queue_bench_section_is_gated(self, compare_bench, tmp_path):
+        path = tmp_path / "queues.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "queue_bench": {
+                        "schema": 1,
+                        "results": {"queue_calendar": {"events_per_sec": 7}},
+                    }
+                },
+                handle,
+            )
+        assert compare_bench.load_results(str(path)) == {
+            "queue_calendar": {"events_per_sec": 7}
+        }
+
+
+def _fleet_document(cpu_count, speedup):
+    return {
+        "fleet_bench": {
+            "schema": 1,
+            "cpu_count": cpu_count,
+            "sharding_speedup": speedup,
+            "results": {"fleet_serial": {"events_per_sec": 100}},
+        }
+    }
+
+
+class TestShardingSpeedupGate:
+    def test_skipped_on_a_one_cpu_box(self, compare_bench, capsys):
+        # An IPC-bound <1x speedup on a 1-CPU machine is not a regression.
+        failures = compare_bench.check_sharding_speedup([_fleet_document(1, 0.87)])
+        out = capsys.readouterr().out
+        assert failures == 0
+        assert "SKIPPED" in out and "cpu_count=1" in out
+
+    def test_enforced_on_a_multi_core_box(self, compare_bench, capsys):
+        assert compare_bench.check_sharding_speedup([_fleet_document(8, 1.9)]) == 0
+        assert compare_bench.check_sharding_speedup([_fleet_document(8, 0.8)]) == 1
+        out = capsys.readouterr().out
+        assert "[ok]" in out and "[TOO SLOW]" in out
+
+    def test_best_candidate_wins_and_skips_do_not_count(self, compare_bench, capsys):
+        documents = [
+            _fleet_document(1, 0.5),  # skipped, must not drag the gate down
+            _fleet_document(8, 0.9),
+            _fleet_document(8, 1.4),
+        ]
+        assert compare_bench.check_sharding_speedup(documents) == 0
+        capsys.readouterr()
+
+    def test_documents_without_fleet_bench_pass_vacuously(self, compare_bench):
+        assert compare_bench.check_sharding_speedup([{"scale_bench": {}}]) == 0
+
+    def test_main_applies_the_gate_to_candidates(
+        self, compare_bench, tmp_path, capsys
+    ):
+        base = _bench_file(tmp_path / "base.json", {"a": {"events_per_sec": 100}})
+        document = {
+            "scale_bench": {"schema": 1, "results": {"a": {"events_per_sec": 100}}},
+        }
+        document.update(_fleet_document(8, 0.7))
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(document))
+        assert compare_bench.main([base, str(slow)]) == 1
+        document.update(_fleet_document(1, 0.7))
+        skipped = tmp_path / "skipped.json"
+        skipped.write_text(json.dumps(document))
+        assert compare_bench.main([base, str(skipped)]) == 0
+        capsys.readouterr()
+
 
 class TestMergeSection:
     def test_preserves_unrelated_sections(self, tmp_path):
